@@ -1,0 +1,51 @@
+"""E15 (ablation) — Checkpoint/restart efficiency of training campaigns
+at scale, and what node-local NVRAM buys.
+
+The machines the keynote targets fail; a multi-day training campaign must
+checkpoint.  Young/Daly analysis over node count x checkpoint tier.
+Expected shape: efficiency degrades with node count (system MTBF shrinks);
+NVRAM checkpointing recovers part of the loss; optimal intervals shrink
+toward minutes at extreme scale.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment
+from repro.hpc import SUMMIT_ERA, campaign_efficiency, daly_interval, mlp_profile
+from repro.utils import format_table
+
+NODES = (64, 1024, 16384, 131072)
+
+
+def test_e15_resilience(benchmark):
+    profile = mlp_profile([16384] * 10, batch_size=1024)  # ~2.4B params
+    rows = []
+    eff = {}
+    for n in NODES:
+        for tier in ("pfs", "nvram"):
+            r = campaign_efficiency(profile, SUMMIT_ERA, n, tier_name=tier)
+            eff[(n, tier)] = r["efficiency"]
+            rows.append([
+                n, tier, r["mtbf"] / 3600, r["checkpoint_time"],
+                r["interval"] / 60, r["efficiency"],
+            ])
+    print_experiment(
+        "E15  Training-campaign efficiency under failures (Young/Daly optimal checkpointing)",
+        format_table(
+            ["nodes", "ckpt tier", "system MTBF h", "ckpt s", "interval min", "efficiency"],
+            rows,
+        ),
+    )
+
+    # Efficiency monotonically degrades with scale (each tier).
+    for tier in ("pfs", "nvram"):
+        effs = [eff[(n, tier)] for n in NODES]
+        assert effs == sorted(effs, reverse=True)
+    # NVRAM checkpointing strictly better at every scale.
+    for n in NODES:
+        assert eff[(n, "nvram")] > eff[(n, "pfs")]
+    # At extreme scale the PFS penalty is material (>1% of the machine).
+    assert eff[(131072, "pfs")] < 0.95
+
+    benchmark(lambda: campaign_efficiency(profile, SUMMIT_ERA, 16384, tier_name="nvram"))

@@ -1,0 +1,56 @@
+"""E6 — Search parallelism / time-to-accuracy (claims C11, C15).
+
+Runs the same search with 1..256 simulated workers on the summit-era
+cluster, with per-trial costs from the architecture model (wider configs
+genuinely cost more).  Expected shape: wall-clock time-to-target drops
+with workers but saturates; async beats sync because trial durations vary.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_experiment
+from repro.hpc import SimCluster
+from repro.hpo import RandomSearch, SurrogateLandscape, candle_mlp_space, run_parallel
+from repro.utils import format_table
+from repro.workflow import simulated_trial_cost
+
+N_TRIALS = 256
+TARGET = 1.55  # surrogate loss target (random search reaches it within 256 trials)
+
+
+def test_e6_search_parallelism(benchmark):
+    space = candle_mlp_space()
+    cluster = SimCluster.build("summit_era", 256)
+    cost = simulated_trial_cost("p1b2", cluster, samples_per_epoch=50_000, base_epochs=10)
+
+    rows = []
+    results = {}
+    for workers in (1, 4, 16, 64, 256):
+        for sync in (False, True):
+            land = SurrogateLandscape(space, noise=0.01, seed=2)
+            strat = RandomSearch(space, seed=0, default_budget=27)
+            log = run_parallel(strat, land, N_TRIALS, workers, cost, sync=sync)
+            wall = max(t.sim_time for t in log.trials)
+            ttt = log.time_to_value(TARGET)
+            results[(workers, sync)] = (wall, ttt)
+            rows.append([
+                workers, "sync" if sync else "async", wall,
+                ttt if ttt is not None else float("nan"), log.best_value(),
+            ])
+    print_experiment(
+        f"E6  Search parallelism: wall-clock and time-to-target (loss <= {TARGET}), {N_TRIALS} trials",
+        format_table(["workers", "mode", "wall s", "time-to-target s", "best"], rows),
+    )
+
+    # More workers -> shorter campaigns (both modes).
+    walls_async = [results[(w, False)][0] for w in (1, 4, 16, 64, 256)]
+    assert walls_async == sorted(walls_async, reverse=True)
+    # Async never slower than sync at every width.
+    for w in (4, 16, 64, 256):
+        assert results[(w, False)][0] <= results[(w, True)][0] + 1e-9
+    # Diminishing returns: 64 -> 256 gains less than 4x.
+    assert walls_async[3] / walls_async[4] < 4.0
+
+    land = SurrogateLandscape(space, noise=0.01, seed=2)
+    benchmark(lambda: run_parallel(RandomSearch(space, seed=1), land, 64, 16, cost))

@@ -1,0 +1,64 @@
+"""Antibiotic-resistance prediction and mechanism discovery.
+
+The infectious-disease half of the keynote: train a k-mer classifier to
+predict resistance from whole genomes, then use feature attribution to
+*discover the resistance mechanism* — and verify the discovery against
+the planted ground-truth genes (impossible with real data, the point of
+the synthetic substitution).
+
+Run: ``python examples/amr_discovery.py``
+"""
+
+import numpy as np
+
+from repro.candle import build_amr_classifier, feature_importance
+from repro.datasets import attribution_hit_rate, make_amr_genomes, motif_buckets
+from repro.datasets.kmers import kmer_of_bucket
+from repro.nn import metrics, train_val_split
+
+# ----------------------------------------------------------------------
+# 1. Genomes: 400 isolates, 3 planted resistance genes, 2% allele drift.
+# ----------------------------------------------------------------------
+dataset = make_amr_genomes(
+    n_genomes=400, genome_length=2500, n_motifs=3, motif_length=40,
+    mutation_rate=0.02, k=6, n_features=512, seed=11,
+)
+print(f"{len(dataset.genomes)} genomes of {len(dataset.genomes[0])} bp; "
+      f"{int(dataset.y.sum())} resistant; features: {dataset.n_features} hashed {dataset.k}-mers")
+
+x_tr, y_tr, x_te, y_te = train_val_split(
+    dataset.x, dataset.y, val_frac=0.3, rng=np.random.default_rng(0)
+)
+
+# ----------------------------------------------------------------------
+# 2. Train the resistance classifier.
+# ----------------------------------------------------------------------
+model = build_amr_classifier(hidden=(128, 64), dropout=0.1)
+model.fit(x_tr, y_tr.reshape(-1, 1).astype(float), epochs=25, batch_size=32,
+          loss="bce_logits", lr=1e-3, seed=0)
+auc = metrics.roc_auc(model.predict(x_te).ravel(), y_te)
+print(f"\nheld-out resistance AUC: {auc:.3f}")
+
+# ----------------------------------------------------------------------
+# 3. Mechanism discovery: which k-mer features drive the prediction?
+# ----------------------------------------------------------------------
+importance = feature_importance(model, dataset.x)
+hit30 = attribution_hit_rate(importance, dataset, top_n=30)
+truth = set(motif_buckets(dataset).tolist())
+chance = len(truth) / dataset.n_features
+print(f"top-30 attributed features hitting a planted gene: {hit30:.0%} "
+      f"(chance: {chance:.0%})")
+
+print("\nmost-important feature buckets and the candidate k-mers they contain:")
+top = np.argsort(importance)[::-1][:5]
+for bucket in top:
+    kmers = kmer_of_bucket(int(bucket), dataset.k, dataset.n_features)
+    in_motif = "PLANTED GENE" if int(bucket) in truth else "background"
+    shown = ", ".join(kmers[:4]) + ("..." if len(kmers) > 4 else "")
+    print(f"  bucket {int(bucket):4d} [{in_motif:12s}] importance={importance[bucket]:.4f}  {shown}")
+
+print(
+    "\nIn a real pipeline these candidate k-mers would be mapped back to"
+    "\ngenome coordinates and genes — here the planted motifs confirm the"
+    "\nattribution recovers true mechanisms far above chance (claim C5)."
+)

@@ -1,0 +1,56 @@
+"""Order matters: recurrent models over clinical event timelines.
+
+The keynote's medical-records claim ("interpret millions of medical
+records to identify optimal treatment strategies") has a structural
+kicker: treatment outcomes depend on the *order* of events, which
+count-based models cannot represent.  This example plants exactly that —
+outcome = 1 iff the treatment event follows the diagnosis event — and
+shows the capability gap:
+
+* bag-of-events logistic regression: chance (the counts are identical
+  across classes by construction);
+* GRU over the timeline: learns the order rule.
+
+Run: ``python examples/clinical_sequences.py``
+"""
+
+import numpy as np
+
+from repro.candle import LogisticRegression, build_p3b2_sequence_classifier
+from repro.datasets import make_event_sequences
+from repro.nn import metrics, train_val_split
+from repro.utils import format_table
+
+# ----------------------------------------------------------------------
+# Data: patient timelines of coded events with an order-dependent outcome.
+# ----------------------------------------------------------------------
+ds = make_event_sequences(n_samples=400, seq_length=20, n_codes=12, label_noise=0.02, seed=0)
+x_tr, y_tr, x_te, y_te = train_val_split(ds.x, ds.y, val_frac=0.3, rng=np.random.default_rng(0))
+print(f"{len(ds.x)} patients x {ds.seq_length} events x {ds.n_codes} codes; "
+      f"outcome = 1 iff treatment (code {ds.response}) follows diagnosis (code {ds.trigger})")
+
+rows = []
+
+# ----------------------------------------------------------------------
+# Baseline: order-free bag of events.
+# ----------------------------------------------------------------------
+bag_tr, bag_te = x_tr.sum(axis=1), x_te.sum(axis=1)
+logit = LogisticRegression(n_iter=400).fit(bag_tr, y_tr)
+rows.append(["bag-of-events logistic", metrics.accuracy(logit.predict_proba(bag_te), y_te)])
+
+# ----------------------------------------------------------------------
+# Elman RNN and GRU over the raw timeline.
+# ----------------------------------------------------------------------
+for cell in ("rnn", "gru"):
+    model = build_p3b2_sequence_classifier(2, units=24, cell=cell)
+    model.fit(x_tr, y_tr, epochs=20, batch_size=32, loss="cross_entropy", lr=5e-3, seed=0)
+    rows.append([f"{cell.upper()} (24 units)", metrics.accuracy(model.predict(x_te), y_te)])
+
+print("\n" + format_table(["model", "held-out accuracy"], rows))
+print(
+    "\nBy construction both classes have identical event *counts*, so the"
+    "\nbag model sits at chance; only a stateful model can read the order."
+    "\nThis is the P3B2-style sequence workload the keynote's records claim"
+    "\nimplies — and one more reason DNN workloads need fast small-matrix"
+    "\nmath (recurrent steps are GEMV-shaped, bandwidth-bound on the E9 roofline)."
+)

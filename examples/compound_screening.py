@@ -1,0 +1,52 @@
+"""Virtual compound screening with extreme class imbalance.
+
+The keynote's "screen for new anti-cancer compounds": rank a large
+library by predicted activity so the wet lab only assays the top slice.
+At a 3% hit rate accuracy is meaningless; the numbers that matter are
+ROC AUC, average precision, and the **enrichment factor** — how many
+times more hits the model's top-1% contains than a random pick.
+
+Also shows why the loss function matters under imbalance: plain BCE vs
+focal loss (which down-weights the flood of easy negatives).
+
+Run: ``python examples/compound_screening.py``
+"""
+
+import numpy as np
+
+from repro.candle import build_amr_classifier
+from repro.datasets import make_compound_screen
+from repro.nn import metrics, train_val_split
+from repro.nn.metrics import enrichment_factor
+from repro.utils import format_table
+
+# ----------------------------------------------------------------------
+# Library: 8000 compounds, 3% true actives around 3 pharmacophores.
+# ----------------------------------------------------------------------
+x, y = make_compound_screen(n_compounds=8000, active_fraction=0.03, seed=5)
+x_tr, y_tr, x_te, y_te = train_val_split(x, y, val_frac=0.3, rng=np.random.default_rng(5))
+print(f"library: {len(x)} compounds, {y.mean():.1%} true actives")
+
+rows = []
+for loss_name in ("bce_logits", "focal"):
+    model = build_amr_classifier(hidden=(64, 32), dropout=0.1)  # same MLP shape fits here
+    model.fit(x_tr, y_tr.reshape(-1, 1).astype(float), epochs=20, batch_size=64,
+              loss=loss_name, lr=2e-3, seed=0)
+    scores = model.predict(x_te).ravel()
+    rows.append([
+        loss_name,
+        metrics.roc_auc(scores, y_te),
+        metrics.average_precision(scores, y_te),
+        enrichment_factor(scores, y_te, 0.01),
+        enrichment_factor(scores, y_te, 0.05),
+    ])
+print("\n" + format_table(["loss", "ROC AUC", "avg precision", "EF@1%", "EF@5%"], rows))
+
+best_scores = scores
+k = max(1, len(y_te) // 100)
+top = np.argsort(best_scores)[::-1][:k]
+print(f"\nassaying only the model's top 1% ({k} compounds) would find "
+      f"{int(y_te[top].sum())} of {int(y_te.sum())} actives "
+      f"({y_te[top].mean():.0%} hit rate vs {y_te.mean():.1%} baseline).")
+print("Enrichment like this is what turns a million-compound library into a")
+print("wet-lab-sized assay list — the screening half of the keynote's cancer story.")

@@ -1,0 +1,112 @@
+"""Drug-pair response prediction with synergy (the Combo workload).
+
+The scenario the keynote's cancer project motivates: predict how a tumor
+cell line responds to a *pair* of drugs at given doses, where the planted
+synergy term makes the pair more (or less) effective than independence
+predicts.  Compares:
+
+* a ridge-regression baseline (linear),
+* a flat MLP,
+* the two-tower ComboModel (shared drug towers, symmetric merge),
+
+and then uses the best model for an in-silico synergy screen: rank unseen
+drug pairs by predicted synergy against the Bliss-independence baseline.
+
+Run: ``python examples/drug_response.py``
+"""
+
+import numpy as np
+
+from repro.candle import ComboModel, RidgeRegression, build_combo_mlp
+from repro.datasets import make_combo_response
+from repro.nn import metrics, train_val_split
+
+rng = np.random.default_rng(7)
+
+# ----------------------------------------------------------------------
+# Data: 3000 (cell line, drug A, drug B, doses) -> growth measurements.
+# ----------------------------------------------------------------------
+screen = make_combo_response(
+    n_samples=6000, n_drugs=15, synergy_strength=3.0, response_noise=0.02, seed=7
+)
+x_tr, y_tr, x_te, y_te = train_val_split(screen.x, screen.y, val_frac=0.3, rng=rng)
+mu, sd = x_tr.mean(axis=0), x_tr.std(axis=0) + 1e-9
+xs_tr, xs_te = (x_tr - mu) / sd, (x_te - mu) / sd
+print(f"screen: {len(screen.x)} measurements, "
+      f"{screen.n_cell_features} cell features + 2x{screen.n_drug_features} drug features + 2 doses")
+
+# ----------------------------------------------------------------------
+# Baseline: ridge regression.
+# ----------------------------------------------------------------------
+ridge = RidgeRegression(alpha=1.0).fit(x_tr, y_tr)
+r2_ridge = metrics.r2_score(ridge.predict(x_te), y_te)
+print(f"\nridge baseline      R2 = {r2_ridge:.3f}")
+
+# ----------------------------------------------------------------------
+# Flat MLP.
+# ----------------------------------------------------------------------
+mlp = build_combo_mlp(hidden=(128, 64), dropout=0.0)
+mlp.fit(xs_tr, y_tr.reshape(-1, 1), epochs=50, batch_size=32, loss="mse", lr=3e-3, seed=0)
+r2_mlp = metrics.r2_score(mlp.predict(xs_te), y_te)
+print(f"flat MLP            R2 = {r2_mlp:.3f}")
+
+# ----------------------------------------------------------------------
+# Two-tower ComboModel (un-standardized input: towers learn their scales).
+# ----------------------------------------------------------------------
+tower = ComboModel(
+    screen.n_cell_features, screen.n_drug_features,
+    tower_units=(64, 32), head_units=(64, 32),
+)
+tower.fit(xs_tr, y_tr.reshape(-1, 1), epochs=50, batch_size=32, loss="mse", lr=3e-3, seed=0)
+r2_tower = metrics.r2_score(tower.predict(xs_te), y_te)
+print(f"two-tower Combo     R2 = {r2_tower:.3f}")
+
+# ----------------------------------------------------------------------
+# In-silico synergy screen: estimate each held-out pair's synergy as the
+# model's excess inhibition over the Bliss-independence expectation,
+# aggregate to drug-pair level, and check against the planted truth.
+# ----------------------------------------------------------------------
+best = tower if r2_tower >= r2_mlp else mlp
+
+def predict_growth(x_raw: np.ndarray) -> np.ndarray:
+    return best.predict((x_raw - mu) / sd).ravel()
+
+# Single-agent counterfactuals: silence the other drug by dropping its
+# dose to the bottom of the screened range (negligible effect there).
+x_only_a = x_te.copy()
+x_only_a[:, -1] = -8.0
+x_only_b = x_te.copy()
+x_only_b[:, -2] = -8.0
+g_pair = predict_growth(x_te)
+e_a = 1.0 - predict_growth(x_only_a)
+e_b = 1.0 - predict_growth(x_only_b)
+predicted_synergy = (1.0 - g_pair) - (1.0 - (1.0 - e_a) * (1.0 - e_b))
+
+# Ground truth for the same rows (the split permutation is deterministic).
+idx = np.random.default_rng(7).permutation(len(screen.x))
+n_val = max(1, int(round(len(screen.x) * 0.3)))
+te_idx = idx[:n_val]
+true_synergy = screen.synergy[te_idx]
+
+# Aggregate to drug pairs: single measurements are noise-dominated, but a
+# pair's synergy is consistent across cell lines and doses.
+pairs = {}
+for i, (a, b) in enumerate(zip(screen.drugs1[te_idx], screen.drugs2[te_idx])):
+    pairs.setdefault((min(a, b), max(a, b)), []).append(i)
+keys = [k for k, rows_i in pairs.items() if len(rows_i) >= 5]
+pred_by_pair = np.array([predicted_synergy[pairs[k]].mean() for k in keys])
+true_by_pair = np.array([true_synergy[pairs[k]].mean() for k in keys])
+
+r_row = metrics.pearson_r(predicted_synergy, true_synergy)
+r_pair = metrics.pearson_r(pred_by_pair, true_by_pair)
+top = np.argsort(pred_by_pair)[::-1][:10]
+print(f"\nsynergy recovery, row level:  corr = {r_row:+.3f}")
+print(f"synergy recovery, pair level: corr = {r_pair:+.3f} over {len(keys)} pairs")
+print(f"mean planted synergy, top-10 predicted pairs: {true_by_pair[top].mean():+.4f}")
+print(f"mean planted synergy, all pairs:              {true_by_pair.mean():+.4f}")
+print(
+    "\nSynergy is a second-order effect an order of magnitude below the"
+    "\nsingle-agent signal, so single measurements are noise-dominated —"
+    "\nrecovery only emerges after pair-level aggregation, mirroring why"
+    "\nreal combination screens need dense dose grids and replicates."
+)

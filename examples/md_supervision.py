@@ -1,0 +1,51 @@
+"""DL-supervised molecular dynamics: explore a rugged free-energy
+landscape with a learned sampler.
+
+The keynote's claim C3 in miniature: an autoencoder novelty model watches
+everything the simulations have visited and steers each new round of
+trajectories toward physically-relevant unexplored regions.  Compares
+basin coverage per simulation budget against uniform restarts and plain
+continuation.
+
+Run: ``python examples/md_supervision.py``
+"""
+
+import numpy as np
+
+from repro.datasets import make_rugged_landscape
+from repro.utils import format_table
+from repro.workflow import run_sampling_campaign
+
+# A 16-well landscape: the stand-in for a signaling-pathway free-energy
+# surface whose metastable states we want to enumerate.
+potential = make_rugged_landscape(n_wells=16, extent=8.0, min_separation=2.0, seed=1)
+print(f"landscape: {potential.n_wells} metastable basins in {potential.dim}-D")
+
+settings = dict(
+    n_rounds=8, trajectories_per_round=3, steps_per_trajectory=250,
+    temperature=0.15, extent=9.0,
+)
+
+rows = []
+curves = {}
+for strategy in ("replica", "uniform", "adaptive"):
+    finals = []
+    for seed in range(4):
+        res = run_sampling_campaign(potential, strategy=strategy, seed=seed, **settings)
+        finals.append(res.final_coverage)
+    curves[strategy] = res.coverage_curve
+    rows.append([strategy, float(np.mean(finals)), float(np.min(finals)), float(np.max(finals))])
+
+print("\n" + format_table(["strategy", "mean coverage", "min", "max"], rows))
+
+print("\ncoverage by round (last seed):")
+header = ["strategy"] + [f"round {i + 1}" for i in range(settings["n_rounds"])]
+print(format_table(header, [[k] + [f"{c:.2f}" for c in v] for k, v in curves.items()]))
+
+print(
+    "\nreplica (blind continuation) stays trapped in the basins it first fell"
+    "\ninto; uniform restarts rediscover big basins repeatedly; the DL"
+    "\nsupervisor spends each round's simulation budget on basins it has not"
+    "\nseen — the same division of labour the keynote proposes between"
+    "\nlearning systems and simulation codes on future machines."
+)

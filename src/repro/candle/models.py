@@ -1,0 +1,415 @@
+"""CANDLE-style benchmark model builders.
+
+Each builder mirrors the architecture family of the corresponding ECP
+CANDLE pilot benchmark (the open-source realization of the workloads this
+keynote describes), scaled to run on the NumPy framework:
+
+* **P1B1** — gene-expression autoencoder (dimensionality reduction).
+* **P1B2** — sparse-data MLP classifier (tumor typing from expression).
+* **NT3**  — 1-D convolutional tumor/normal classifier.
+* **Combo**— drug-pair response regressor with per-input towers.
+* **P3B1** — multitask clinical-records classifier (shared trunk).
+* **AMR**  — k-mer MLP for antibiotic-resistance prediction.
+
+Builders take hyperparameters the HPO experiments sweep (layer widths,
+dropout, activation) and return un-built models; ``Model.fit`` builds them
+lazily from the data shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import (
+    Activation,
+    BatchNorm,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool1D,
+    Model,
+    Sequential,
+    Tensor,
+)
+from ..nn import functional as F
+from ..nn import losses as losses_mod
+from ..nn.dataloader import DataLoader
+from ..nn.optim import Adam
+
+
+def build_p1b1_autoencoder(
+    input_dim: int,
+    latent_dim: int = 20,
+    hidden: Sequence[int] = (200, 80),
+    activation: str = "relu",
+    dropout: float = 0.0,
+) -> Sequential:
+    """P1B1: symmetric dense autoencoder with a ``latent_dim`` bottleneck."""
+    layers: List = []
+    for h in hidden:
+        layers.append(Dense(h, activation=activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(latent_dim, activation=activation, name="bottleneck"))
+    for h in reversed(hidden):
+        layers.append(Dense(h, activation=activation))
+    layers.append(Dense(input_dim))
+    return Sequential(layers)
+
+
+def encode_p1b1(model: Sequential, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Run only the encoder half (through the bottleneck layer)."""
+    from ..nn.tensor import no_grad
+
+    cut = next(i for i, l in enumerate(model.layers) if l.name == "bottleneck") + 1
+    outs = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            h = Tensor(np.asarray(x[start : start + batch_size]))
+            for layer in model.layers[:cut]:
+                h = layer(h, training=False)
+            outs.append(h.data)
+    return np.concatenate(outs, axis=0)
+
+
+def build_p1b2_classifier(
+    n_classes: int,
+    hidden: Sequence[int] = (256, 128, 64),
+    activation: str = "relu",
+    dropout: float = 0.1,
+    batch_norm: bool = False,
+) -> Sequential:
+    """P1B2: deep MLP over (sparse-ish) expression features -> tumor type."""
+    layers: List = []
+    for h in hidden:
+        layers.append(Dense(h, activation=None))
+        if batch_norm:
+            layers.append(BatchNorm())
+        layers.append(Activation(activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(n_classes))
+    return Sequential(layers)
+
+
+def build_nt3_classifier(
+    n_classes: int,
+    conv_filters: Sequence[int] = (16, 32),
+    kernel_size: int = 7,
+    pool_size: int = 2,
+    dense_units: Sequence[int] = (64,),
+    dropout: float = 0.1,
+    activation: str = "relu",
+) -> Sequential:
+    """NT3: 1-D CNN over gene-expression profiles laid out along the genome.
+
+    Input shape: (N, 1, n_genes).
+    """
+    layers: List = []
+    for f in conv_filters:
+        layers.append(Conv1D(f, kernel_size, activation=activation))
+        layers.append(MaxPool1D(pool_size))
+    layers.append(Flatten())
+    for u in dense_units:
+        layers.append(Dense(u, activation=activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(n_classes))
+    return Sequential(layers)
+
+
+class ComboModel(Model):
+    """Combo: separate feature towers for the cell line and each drug,
+    merged into a response head — the CANDLE Combo topology.
+
+    Input layout must match :func:`repro.datasets.make_combo_response`:
+    ``[cell_features | drug1_features | drug2_features | dose1 | dose2]``.
+    The two drug towers share weights (drug order must not matter).
+    """
+
+    def __init__(
+        self,
+        n_cell_features: int,
+        n_drug_features: int,
+        tower_units: Sequence[int] = (64, 32),
+        head_units: Sequence[int] = (64, 32),
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.n_cell = n_cell_features
+        self.n_drug = n_drug_features
+        self.cell_tower = [Dense(u, activation=activation, name=f"cell{u}") for u in tower_units]
+        self.drug_tower = [Dense(u, activation=activation, name=f"drug{u}") for u in tower_units]
+        self.head: List = []
+        for u in head_units:
+            self.head.append(Dense(u, activation=activation))
+            if dropout > 0:
+                self.head.append(Dropout(dropout))
+        self.head.append(Dense(1))
+        # Registered for parameter discovery.
+        self.layers = self.cell_tower + self.drug_tower + self.head
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        expected = self.n_cell + 2 * self.n_drug + 2
+        if input_shape[-1] != expected:
+            raise ValueError(f"combo input must have {expected} features, got {input_shape[-1]}")
+        shape = (self.n_cell,)
+        for layer in self.cell_tower:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        cell_out = shape[0]
+        shape = (self.n_drug + 1,)  # drug features + its dose
+        for layer in self.drug_tower:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        drug_out = shape[0]
+        shape = (cell_out + 2 * drug_out,)
+        for layer in self.head:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self.built = True
+
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        nc, nd = self.n_cell, self.n_drug
+        cell = x[:, :nc]
+        drug1 = x[:, nc : nc + nd]
+        drug2 = x[:, nc + nd : nc + 2 * nd]
+        dose1 = x[:, nc + 2 * nd : nc + 2 * nd + 1]
+        dose2 = x[:, nc + 2 * nd + 1 :]
+
+        from ..nn.tensor import concatenate
+
+        h_cell = cell
+        for layer in self.cell_tower:
+            h_cell = layer(h_cell, training=training)
+        h_d1 = concatenate([drug1, dose1], axis=1)
+        h_d2 = concatenate([drug2, dose2], axis=1)
+        for layer in self.drug_tower:  # shared weights across both drugs
+            h_d1 = layer(h_d1, training=training)
+            h_d2 = layer(h_d2, training=training)
+        # Symmetric merge (sum + product): response to (A, B) must equal
+        # the response to (B, A), and the product term carries the pairwise
+        # interaction the synergy signal lives in.
+        h = concatenate([h_cell, h_d1 + h_d2, h_d1 * h_d2], axis=1)
+        for layer in self.head:
+            h = layer(h, training=training)
+        return h
+
+
+def build_combo_mlp(
+    hidden: Sequence[int] = (128, 64, 32),
+    activation: str = "relu",
+    dropout: float = 0.0,
+) -> Sequential:
+    """Flat-MLP variant of the Combo regressor (the HPO search compares the
+    flat and tower topologies)."""
+    layers: List = []
+    for h in hidden:
+        layers.append(Dense(h, activation=activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(1))
+    return Sequential(layers)
+
+
+class MultitaskModel(Model):
+    """P3B1: shared trunk + one classification head per task."""
+
+    def __init__(
+        self,
+        task_classes: Dict[str, int],
+        shared_units: Sequence[int] = (128, 64),
+        head_units: Sequence[int] = (32,),
+        activation: str = "relu",
+        dropout: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.task_names = tuple(task_classes.keys())
+        self.trunk: List = []
+        for u in shared_units:
+            self.trunk.append(Dense(u, activation=activation))
+            if dropout > 0:
+                self.trunk.append(Dropout(dropout))
+        self.heads: Dict[str, List] = {}
+        for task, n_cls in task_classes.items():
+            head: List = []
+            for u in head_units:
+                head.append(Dense(u, activation=activation, name=f"{task}_h{u}"))
+            head.append(Dense(n_cls, name=f"{task}_out"))
+            self.heads[task] = head
+        self.layers = self.trunk + [l for head in self.heads.values() for l in head]
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        shape = tuple(input_shape)
+        for layer in self.trunk:
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        trunk_shape = shape
+        for head in self.heads.values():
+            shape = trunk_shape
+            for layer in head:
+                layer.build(shape, rng)
+                shape = layer.output_shape(shape)
+        self.built = True
+
+    def forward_all(self, x: Tensor, training: bool = True) -> Dict[str, Tensor]:
+        """Logits for every task."""
+        h = x
+        for layer in self.trunk:
+            h = layer(h, training=training)
+        out = {}
+        for task, head in self.heads.items():
+            t = h
+            for layer in head:
+                t = layer(t, training=training)
+            out[task] = t
+        return out
+
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        # Single-output protocol: return the first task (used by generic
+        # tooling); multitask training goes through fit_multitask.
+        return self.forward_all(x, training=training)[self.task_names[0]]
+
+    def predict_all(self, x: np.ndarray, batch_size: int = 256) -> Dict[str, np.ndarray]:
+        from ..nn.tensor import no_grad
+
+        outs: Dict[str, List[np.ndarray]] = {t: [] for t in self.task_names}
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                logits = self.forward_all(Tensor(np.asarray(x[start : start + batch_size])), training=False)
+                for t in self.task_names:
+                    outs[t].append(logits[t].data)
+        return {t: np.concatenate(v, axis=0) for t, v in outs.items()}
+
+
+def fit_multitask(
+    model: MultitaskModel,
+    x: np.ndarray,
+    labels: Dict[str, np.ndarray],
+    epochs: int = 20,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    task_weights: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+) -> List[float]:
+    """Joint training: summed (weighted) cross-entropy over all tasks.
+
+    Returns per-epoch mean total losses.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x)
+    if not model.built:
+        model.build(x.shape[1:], rng)
+    opt = Adam(model.parameters(), lr=lr)
+    weights = task_weights or {t: 1.0 for t in model.task_names}
+    # Stack labels so the loader shuffles them together.
+    label_matrix = np.stack([labels[t] for t in model.task_names], axis=1)
+    loader = DataLoader(x, label_matrix, batch_size=batch_size, shuffle=True, rng=rng)
+
+    epoch_losses: List[float] = []
+    for _ in range(epochs):
+        total, count = 0.0, 0
+        for xb, yb in loader:
+            logits = model.forward_all(Tensor(xb), training=True)
+            loss = None
+            for i, task in enumerate(model.task_names):
+                task_loss = losses_mod.cross_entropy(logits[task], yb[:, i]) * weights[task]
+                loss = task_loss if loss is None else loss + task_loss
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            total += loss.item()
+            count += 1
+        epoch_losses.append(total / max(count, 1))
+    return epoch_losses
+
+
+def build_amr_classifier(
+    hidden: Sequence[int] = (128, 64),
+    activation: str = "relu",
+    dropout: float = 0.2,
+) -> Sequential:
+    """AMR: MLP over hashed k-mer counts -> resistant/susceptible logit."""
+    layers: List = []
+    for h in hidden:
+        layers.append(Dense(h, activation=activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(1))
+    return Sequential(layers)
+
+
+def feature_importance(model: Model, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Gradient x input attribution, averaged over samples.
+
+    The mechanism-discovery tool for the AMR workload (claim C5): features
+    whose perturbation most moves the resistance logit.  Returns a
+    (n_features,) non-negative importance vector.
+    """
+    x = np.asarray(x)
+    total = np.zeros(x.shape[1])
+    for start in range(0, len(x), batch_size):
+        xb = Tensor(np.asarray(x[start : start + batch_size], dtype=np.float64), requires_grad=True)
+        out = model.forward(xb, training=False)
+        out.sum().backward()
+        total += np.abs(xb.grad * xb.data).sum(axis=0)
+    return total / len(x)
+
+
+def build_imaging_classifier(
+    n_classes: int,
+    conv_filters: Sequence[int] = (8, 16),
+    kernel_size: int = 3,
+    pool_size: int = 2,
+    dense_units: Sequence[int] = (32,),
+    dropout: float = 0.1,
+    activation: str = "relu",
+) -> Sequential:
+    """Tumor-image grade classifier: small 2-D conv net over (N, 1, H, W)
+    patches — the keynote's "diagnose and classify tumors" workload."""
+    from ..nn import Conv2D, GlobalAvgPool2D, MaxPool2D
+
+    layers: List = []
+    for f in conv_filters:
+        layers.append(Conv2D(f, kernel_size, activation=activation, padding="same"))
+        layers.append(MaxPool2D(pool_size))
+    layers.append(GlobalAvgPool2D())
+    for u in dense_units:
+        layers.append(Dense(u, activation=activation))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(n_classes))
+    return Sequential(layers)
+
+
+def build_p3b2_sequence_classifier(
+    n_classes: int,
+    units: int = 32,
+    cell: str = "gru",
+    dense_units: Sequence[int] = (),
+    dropout: float = 0.0,
+) -> Sequential:
+    """P3B2-style recurrent classifier over clinical event sequences
+    (N, T, n_codes) — order-sensitive outcomes a bag-of-events model
+    cannot learn."""
+    from ..nn import GRU, LSTM, SimpleRNN
+
+    if cell == "gru":
+        rnn = GRU(units)
+    elif cell == "lstm":
+        rnn = LSTM(units)
+    elif cell == "rnn":
+        rnn = SimpleRNN(units)
+    else:
+        raise ValueError(f"unknown cell {cell!r}; choose 'gru', 'lstm' or 'rnn'")
+    layers: List = [rnn]
+    for u in dense_units:
+        layers.append(Dense(u, activation="relu"))
+        if dropout > 0:
+            layers.append(Dropout(dropout))
+    layers.append(Dense(n_classes))
+    return Sequential(layers)

@@ -1,0 +1,160 @@
+"""Benchmark registry: one entry per CANDLE-style workload.
+
+Each entry bundles a data generator, a model builder, the training loss,
+and the headline metric — the unit of work that the HPO scheduler
+(:mod:`repro.hpo`) and the E7 accuracy bench iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..datasets import (
+    make_amr_genomes,
+    make_autoencoder_expression,
+    make_combo_response,
+    make_event_sequences,
+    make_single_drug_response,
+    make_tumor_expression,
+    make_tumor_images,
+)
+from . import models as M
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Declarative description of one benchmark."""
+
+    name: str
+    description: str
+    make_data: Callable  # seed -> (x, y)
+    build_model: Callable  # **hparams -> Model
+    loss: str
+    metric: str
+    metric_mode: str  # 'max' or 'min'
+
+
+def _p1b1_data(seed: int = 0):
+    x, _ = make_autoencoder_expression(n_samples=600, n_genes=200, latent_dim=10, seed=seed)
+    return x, None
+
+
+def _p1b2_data(seed: int = 0):
+    ds = make_tumor_expression(n_samples=600, n_genes=200, n_classes=4, seed=seed)
+    return ds.x, ds.y
+
+
+def _nt3_data(seed: int = 0):
+    ds = make_tumor_expression(n_samples=500, n_genes=200, n_classes=2, seed=seed)
+    return ds.as_conv_input(), ds.y
+
+
+def _combo_data(seed: int = 0):
+    ds = make_combo_response(n_samples=1500, seed=seed)
+    return ds.x, ds.y.reshape(-1, 1)
+
+
+def _single_drug_data(seed: int = 0):
+    ds = make_single_drug_response(n_samples=1500, seed=seed)
+    return ds.x, ds.y.reshape(-1, 1)
+
+
+def _imaging_data(seed: int = 0):
+    ds = make_tumor_images(n_samples=200, size=16, equal_density=True, standardize=True, seed=seed)
+    return ds.x, ds.y
+
+
+def _sequence_data(seed: int = 0):
+    ds = make_event_sequences(n_samples=250, seq_length=12, n_codes=10, seed=seed)
+    return ds.x, ds.y
+
+
+def _amr_data(seed: int = 0):
+    ds = make_amr_genomes(n_genomes=300, genome_length=2000, seed=seed)
+    return ds.x, ds.y.reshape(-1, 1).astype(np.float64)
+
+
+REGISTRY: Dict[str, BenchmarkSpec] = {
+    "p1b1": BenchmarkSpec(
+        name="p1b1",
+        description="Gene-expression autoencoder (dimensionality reduction)",
+        make_data=_p1b1_data,
+        build_model=lambda input_dim=200, **hp: M.build_p1b1_autoencoder(input_dim, **hp),
+        loss="mse",
+        metric="loss",
+        metric_mode="min",
+    ),
+    "p1b2": BenchmarkSpec(
+        name="p1b2",
+        description="Tumor-type MLP classifier on expression",
+        make_data=_p1b2_data,
+        build_model=lambda n_classes=4, **hp: M.build_p1b2_classifier(n_classes, **hp),
+        loss="cross_entropy",
+        metric="accuracy",
+        metric_mode="max",
+    ),
+    "nt3": BenchmarkSpec(
+        name="nt3",
+        description="1-D conv tumor/normal classifier",
+        make_data=_nt3_data,
+        build_model=lambda n_classes=2, **hp: M.build_nt3_classifier(n_classes, **hp),
+        loss="cross_entropy",
+        metric="accuracy",
+        metric_mode="max",
+    ),
+    "combo": BenchmarkSpec(
+        name="combo",
+        description="Drug-pair response regressor with synergy",
+        make_data=_combo_data,
+        build_model=lambda **hp: M.build_combo_mlp(**hp),
+        loss="mse",
+        metric="r2",
+        metric_mode="max",
+    ),
+    "single_drug": BenchmarkSpec(
+        name="single_drug",
+        description="Single-drug dose-response regressor",
+        make_data=_single_drug_data,
+        build_model=lambda **hp: M.build_combo_mlp(**hp),
+        loss="mse",
+        metric="r2",
+        metric_mode="max",
+    ),
+    "imaging": BenchmarkSpec(
+        name="imaging",
+        description="Tumor-grade conv2d image classifier",
+        make_data=_imaging_data,
+        build_model=lambda n_classes=2, **hp: M.build_imaging_classifier(n_classes, **hp),
+        loss="cross_entropy",
+        metric="accuracy",
+        metric_mode="max",
+    ),
+    "p3b2": BenchmarkSpec(
+        name="p3b2",
+        description="GRU classifier over order-sensitive clinical event sequences",
+        make_data=_sequence_data,
+        build_model=lambda n_classes=2, **hp: M.build_p3b2_sequence_classifier(n_classes, **hp),
+        loss="cross_entropy",
+        metric="accuracy",
+        metric_mode="max",
+    ),
+    "amr": BenchmarkSpec(
+        name="amr",
+        description="Antibiotic-resistance k-mer classifier",
+        make_data=_amr_data,
+        build_model=lambda **hp: M.build_amr_classifier(**hp),
+        loss="bce_logits",
+        metric="roc_auc",
+        metric_mode="max",
+    ),
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {sorted(REGISTRY)}")

@@ -1,0 +1,6 @@
+"""Functional in-memory communicator: the collective *algorithms* the cost
+models assume, executed on real arrays with message/byte accounting."""
+
+from .communicator import Communicator, TrafficLog
+
+__all__ = ["Communicator", "TrafficLog"]

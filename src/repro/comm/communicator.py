@@ -1,0 +1,213 @@
+"""In-memory multi-rank communicator with mpi4py-style semantics.
+
+The cost models in :mod:`repro.hpc.collectives` assume specific
+algorithms (ring reduce-scatter + allgather, binomial trees, recursive
+doubling).  This module *implements those algorithms on real arrays* in a
+single process — every rank's buffer is real, every send is an actual
+array copy, and the communicator counts messages and bytes.  Tests then
+verify both correctness (the result equals the numpy reduction) and the
+traffic accounting (message/byte counts equal the formulas the cost
+models charge for).
+
+API shape follows the mpi4py buffer convention the HPC-Python guides
+teach (uppercase = buffer ops): ``Allreduce``, ``Reduce_scatter``,
+``Allgather``, ``Bcast``, ``Alltoall``, plus rank-addressed ``send``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TrafficLog:
+    """Message/byte accounting for one communicator."""
+
+    messages: int = 0
+    bytes_sent: float = 0.0
+    per_rank_bytes: Optional[List[float]] = None
+
+    def record(self, src: int, nbytes: float) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        if self.per_rank_bytes is not None:
+            self.per_rank_bytes[src] += nbytes
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0.0
+        if self.per_rank_bytes is not None:
+            for i in range(len(self.per_rank_bytes)):
+                self.per_rank_bytes[i] = 0.0
+
+
+class Communicator:
+    """N logical ranks sharing one process.
+
+    Rank state lives in ``self.buffers``: a list of per-rank arrays the
+    caller installs before a collective and reads after.  All collectives
+    are deterministic and in-place on those buffers.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.traffic = TrafficLog(per_rank_bytes=[0.0] * n_ranks)
+
+    # -- plumbing --------------------------------------------------------
+    def _check_buffers(self, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        buffers = list(buffers)
+        if len(buffers) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} rank buffers, got {len(buffers)}")
+        shape = buffers[0].shape
+        for b in buffers:
+            if b.shape != shape:
+                raise ValueError("all rank buffers must share a shape")
+        return buffers
+
+    def _send(self, src: int, dst: int, data: np.ndarray) -> np.ndarray:
+        """Model a point-to-point transfer: count it, return a copy."""
+        if src == dst:
+            return data
+        self.traffic.record(src, data.nbytes)
+        return data.copy()
+
+    # -- collectives -------------------------------------------------------
+    def Bcast(self, buffers: Sequence[np.ndarray], root: int = 0) -> None:
+        """Binomial-tree broadcast from ``root`` (in place)."""
+        buffers = self._check_buffers(buffers)
+        if not 0 <= root < self.n_ranks:
+            raise ValueError(f"root {root} out of range")
+        # Re-index so root is rank 0 in the tree.
+        have = {root}
+        rounds = math.ceil(math.log2(self.n_ranks)) if self.n_ranks > 1 else 0
+        for r in range(rounds):
+            senders = list(have)
+            for s in senders:
+                virtual = (s - root) % self.n_ranks
+                partner_virtual = virtual + 2 ** r
+                if partner_virtual >= self.n_ranks:
+                    continue
+                d = (partner_virtual + root) % self.n_ranks
+                if d in have:
+                    continue
+                buffers[d][...] = self._send(s, d, buffers[s])
+                have.add(d)
+
+    def Allreduce_ring(self, buffers: Sequence[np.ndarray]) -> None:
+        """Ring allreduce (sum): reduce-scatter then allgather, in place.
+
+        Each rank ends with the elementwise sum over all ranks.  Buffer
+        sizes need not divide n_ranks (chunks are near-equal splits).
+        """
+        buffers = self._check_buffers(buffers)
+        p = self.n_ranks
+        if p == 1:
+            return
+        flats = [b.reshape(-1) for b in buffers]
+        bounds = np.linspace(0, flats[0].size, p + 1).astype(int)
+
+        def chunk(rank_buf, c):
+            return rank_buf[bounds[c] : bounds[c + 1]]
+
+        # Reduce-scatter: p-1 steps; in step s, rank r sends chunk
+        # (r - s) mod p to rank r+1, which accumulates.
+        acc = [f.copy() for f in flats]
+        for s in range(p - 1):
+            transfers = []
+            for r in range(p):
+                c = (r - s) % p
+                dst = (r + 1) % p
+                transfers.append((r, dst, c, self._send(r, dst, chunk(acc[r], c))))
+            for r, dst, c, data in transfers:
+                chunk(acc[dst], c)[...] += data
+        # Now rank r owns the fully-reduced chunk (r+1-0... ) at c = (r+1) mod p.
+        # Allgather: p-1 steps circulating the reduced chunks.
+        for s in range(p - 1):
+            transfers = []
+            for r in range(p):
+                c = (r + 1 - s) % p
+                dst = (r + 1) % p
+                transfers.append((r, dst, c, self._send(r, dst, chunk(acc[r], c))))
+            for r, dst, c, data in transfers:
+                chunk(acc[dst], c)[...] = data
+        for f, a in zip(flats, acc):
+            f[...] = a
+
+    def Allreduce_recursive_doubling(self, buffers: Sequence[np.ndarray]) -> None:
+        """Recursive-doubling allreduce (sum), power-of-two ranks only."""
+        buffers = self._check_buffers(buffers)
+        p = self.n_ranks
+        if p == 1:
+            return
+        if p & (p - 1):
+            raise ValueError("recursive doubling requires a power-of-two rank count")
+        work = [b.reshape(-1) for b in buffers]
+        for r_bit in range(int(math.log2(p))):
+            dist = 2 ** r_bit
+            exchanged = []
+            for r in range(p):
+                partner = r ^ dist
+                exchanged.append(self._send(r, partner, work[r]))
+            new = [work[r] + exchanged[r ^ dist] for r in range(p)]
+            for r in range(p):
+                work[r][...] = new[r]
+
+    def Reduce_scatter(self, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Ring reduce-scatter (sum); returns each rank's owned chunk."""
+        buffers = self._check_buffers(buffers)
+        p = self.n_ranks
+        flats = [b.reshape(-1).copy() for b in buffers]
+        if p == 1:
+            return flats
+        bounds = np.linspace(0, flats[0].size, p + 1).astype(int)
+
+        def chunk(buf, c):
+            return buf[bounds[c] : bounds[c + 1]]
+
+        for s in range(p - 1):
+            transfers = []
+            for r in range(p):
+                c = (r - s) % p
+                dst = (r + 1) % p
+                transfers.append((dst, c, self._send(r, dst, chunk(flats[r], c))))
+            for dst, c, data in transfers:
+                chunk(flats[dst], c)[...] += data
+        return [chunk(flats[r], (r + 1) % p).copy() for r in range(p)]
+
+    def Allgather(self, pieces: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Ring allgather: every rank ends with the concatenation of all
+        per-rank pieces (in rank order)."""
+        pieces = list(pieces)
+        if len(pieces) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} pieces")
+        p = self.n_ranks
+        holdings: List[Dict[int, np.ndarray]] = [{r: pieces[r].copy()} for r in range(p)]
+        for s in range(p - 1):
+            transfers = []
+            for r in range(p):
+                c = (r - s) % p
+                dst = (r + 1) % p
+                transfers.append((dst, c, self._send(r, dst, holdings[r][c])))
+            for dst, c, data in transfers:
+                holdings[dst][c] = data
+        return [np.concatenate([holdings[r][c] for c in range(p)]) for r in range(p)]
+
+    def Alltoall(self, blocks: Sequence[Sequence[np.ndarray]]) -> List[List[np.ndarray]]:
+        """Pairwise-exchange all-to-all: ``blocks[src][dst]`` -> returned
+        ``out[dst][src]``."""
+        if len(blocks) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} rows of blocks")
+        p = self.n_ranks
+        out: List[List[Optional[np.ndarray]]] = [[None] * p for _ in range(p)]
+        for src in range(p):
+            if len(blocks[src]) != p:
+                raise ValueError("each rank must provide one block per destination")
+            for dst in range(p):
+                out[dst][src] = self._send(src, dst, np.asarray(blocks[src][dst]))
+        return out  # type: ignore[return-value]

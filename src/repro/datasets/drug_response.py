@@ -1,0 +1,239 @@
+"""Synthetic drug-response data: single-drug dose response and drug pairs
+with synergy (the Combo workload).
+
+Substitutes for the NCI-60/GDSC/CCLE screens.  The generative model follows
+the pharmacology the CANDLE drug-response benchmarks learn:
+
+* each **cell line** has latent biology ``u`` (observable through a noisy
+  gene-expression readout);
+* each **drug** has latent mechanism ``v`` (observable through noisy
+  molecular descriptors);
+* drug potency on a cell line is a nonlinear interaction
+  ``pIC50 = f(u, v)``;
+* measured growth at dose ``d`` follows a Hill curve around that IC50;
+* for drug *pairs*, a Bliss-style synergy term depending on the mechanism
+  pair shifts the combined effect (this is what makes Combo harder than
+  additivity and what the DL model must capture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def hill_response(dose: np.ndarray, ic50: np.ndarray, slope: float = 1.0) -> np.ndarray:
+    """Fractional growth inhibition in [0, 1] at ``dose`` (both in log10 M
+    space internally linearized): classic Hill equation."""
+    # dose and ic50 are in log10 concentration units.
+    return 1.0 / (1.0 + 10.0 ** (slope * (ic50 - dose)))
+
+
+@dataclass
+class DrugResponseDataset:
+    """Single-drug dose-response screen.
+
+    x: (n, n_cell_features + n_drug_features + 1) — expression readout,
+       drug descriptors, and log-dose.
+    y: (n,) growth fraction in [0, 1] (1 = unaffected, 0 = fully inhibited).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    n_cell_features: int
+    n_drug_features: int
+    true_ic50: np.ndarray
+
+
+@dataclass
+class ComboDataset:
+    """Two-drug combination screen with planted synergy.
+
+    x: (n, n_cell_features + 2*n_drug_features + 2) — expression, both
+       drugs' descriptors, both log-doses.
+    y: (n,) combined growth fraction.
+    synergy: (n,) the planted synergy contribution (ground truth, for tests).
+    cells, drugs1, drugs2: (n,) the underlying entity indices of each row
+       (metadata for pair-level analyses; models never see these).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    n_cell_features: int
+    n_drug_features: int
+    synergy: np.ndarray
+    cells: np.ndarray = None
+    drugs1: np.ndarray = None
+    drugs2: np.ndarray = None
+
+
+class _Screen:
+    """Shared latent world for the drug-response generators."""
+
+    def __init__(
+        self,
+        n_cells: int,
+        n_drugs: int,
+        latent_dim: int,
+        n_cell_features: int,
+        n_drug_features: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.rng = rng
+        self.latent_dim = latent_dim
+        self.cell_latent = rng.standard_normal((n_cells, latent_dim))
+        self.drug_latent = rng.standard_normal((n_drugs, latent_dim))
+        # Observation maps (what the model actually sees).
+        self.cell_readout = rng.standard_normal((latent_dim, n_cell_features)) / np.sqrt(latent_dim)
+        self.drug_readout = rng.standard_normal((latent_dim, n_drug_features)) / np.sqrt(latent_dim)
+        # Interaction tensor for potency: bilinear + elementwise nonlinearity.
+        self.interaction = rng.standard_normal((latent_dim, latent_dim)) / np.sqrt(latent_dim)
+
+    def cell_features(self, idx: np.ndarray, noise: float) -> np.ndarray:
+        clean = self.cell_latent[idx] @ self.cell_readout
+        return clean + noise * self.rng.standard_normal(clean.shape)
+
+    def drug_features(self, idx: np.ndarray, noise: float) -> np.ndarray:
+        clean = self.drug_latent[idx] @ self.drug_readout
+        return clean + noise * self.rng.standard_normal(clean.shape)
+
+    def pic50(self, cell_idx: np.ndarray, drug_idx: np.ndarray) -> np.ndarray:
+        """Potency (log10 IC50, centered near -6 i.e. ~1 uM) with a
+        nonlinear cell x drug interaction."""
+        u = self.cell_latent[cell_idx]
+        v = self.drug_latent[drug_idx]
+        bilinear = np.einsum("nd,de,ne->n", u, self.interaction, v) / np.sqrt(self.latent_dim)
+        return -6.0 + 1.5 * np.tanh(bilinear)
+
+
+def make_single_drug_response(
+    n_samples: int = 2000,
+    n_cells: int = 60,
+    n_drugs: int = 100,
+    latent_dim: int = 8,
+    n_cell_features: int = 60,
+    n_drug_features: int = 30,
+    feature_noise: float = 0.3,
+    response_noise: float = 0.05,
+    seed: int = 0,
+) -> DrugResponseDataset:
+    """Single-drug screen: random (cell, drug, dose) triples."""
+    rng = np.random.default_rng(seed)
+    screen = _Screen(n_cells, n_drugs, latent_dim, n_cell_features, n_drug_features, rng)
+
+    cells = rng.integers(0, n_cells, size=n_samples)
+    drugs = rng.integers(0, n_drugs, size=n_samples)
+    doses = rng.uniform(-8.0, -4.0, size=n_samples)  # log10 M
+
+    ic50 = screen.pic50(cells, drugs)
+    inhibition = hill_response(doses, ic50, slope=1.2)
+    growth = 1.0 - inhibition + response_noise * rng.standard_normal(n_samples)
+    growth = np.clip(growth, 0.0, 1.0)
+
+    x = np.concatenate(
+        [
+            screen.cell_features(cells, feature_noise),
+            screen.drug_features(drugs, feature_noise),
+            doses[:, None],
+        ],
+        axis=1,
+    )
+    return DrugResponseDataset(
+        x=x, y=growth,
+        n_cell_features=n_cell_features, n_drug_features=n_drug_features,
+        true_ic50=ic50,
+    )
+
+
+def make_combo_response(
+    n_samples: int = 3000,
+    n_cells: int = 60,
+    n_drugs: int = 50,
+    latent_dim: int = 8,
+    n_cell_features: int = 60,
+    n_drug_features: int = 30,
+    feature_noise: float = 0.3,
+    response_noise: float = 0.05,
+    synergy_strength: float = 1.0,
+    seed: int = 0,
+) -> ComboDataset:
+    """Two-drug combination screen (the Combo benchmark's data shape).
+
+    The combined inhibition is the Bliss-independence baseline
+    ``1 - (1-e1)(1-e2)`` shifted by a planted synergy term that depends on
+    the *pair* of mechanisms — invisible to any model that treats the two
+    drugs independently.
+    """
+    rng = np.random.default_rng(seed)
+    screen = _Screen(n_cells, n_drugs, latent_dim, n_cell_features, n_drug_features, rng)
+    # Pair-synergy map: antisymmetric-free random bilinear form over drug latents.
+    syn_map = rng.standard_normal((latent_dim, latent_dim)) / np.sqrt(latent_dim)
+
+    cells = rng.integers(0, n_cells, size=n_samples)
+    d1 = rng.integers(0, n_drugs, size=n_samples)
+    d2 = rng.integers(0, n_drugs, size=n_samples)
+    dose1 = rng.uniform(-8.0, -4.0, size=n_samples)
+    dose2 = rng.uniform(-8.0, -4.0, size=n_samples)
+
+    e1 = hill_response(dose1, screen.pic50(cells, d1), slope=1.2)
+    e2 = hill_response(dose2, screen.pic50(cells, d2), slope=1.2)
+    bliss = 1.0 - (1.0 - e1) * (1.0 - e2)
+
+    v1, v2 = screen.drug_latent[d1], screen.drug_latent[d2]
+    syn_raw = np.einsum("nd,de,ne->n", v1, syn_map, v2) / np.sqrt(latent_dim)
+    # Symmetrize (synergy can't depend on drug order) and gate by both doses
+    # being near-effective (synergy needs both drugs active).
+    syn_raw = 0.5 * (syn_raw + np.einsum("nd,de,ne->n", v2, syn_map, v1) / np.sqrt(latent_dim))
+    gate = e1 * e2 * 4.0 * (1.0 - e1) * (1.0 - e2)  # peaks at intermediate effect
+    synergy = synergy_strength * 0.3 * np.tanh(syn_raw) * gate
+
+    inhibition = np.clip(bliss + synergy, 0.0, 1.0)
+    growth = 1.0 - inhibition + response_noise * rng.standard_normal(n_samples)
+    growth = np.clip(growth, 0.0, 1.0)
+
+    x = np.concatenate(
+        [
+            screen.cell_features(cells, feature_noise),
+            screen.drug_features(d1, feature_noise),
+            screen.drug_features(d2, feature_noise),
+            dose1[:, None],
+            dose2[:, None],
+        ],
+        axis=1,
+    )
+    return ComboDataset(
+        x=x, y=growth,
+        n_cell_features=n_cell_features, n_drug_features=n_drug_features,
+        synergy=synergy, cells=cells, drugs1=d1, drugs2=d2,
+    )
+
+
+def make_compound_screen(
+    n_compounds: int = 5000,
+    n_drug_features: int = 40,
+    latent_dim: int = 6,
+    active_fraction: float = 0.05,
+    feature_noise: float = 0.2,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Virtual compound-screening dataset (binary active/inactive).
+
+    Models the keynote's "screen for new anti-cancer compounds": activity
+    is a narrow nonlinear region of mechanism space, so the positive class
+    is rare and nonlinearly separable.  Returns (descriptors, labels).
+    """
+    if not 0 < active_fraction < 1:
+        raise ValueError("active_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal((n_compounds, latent_dim))
+    # Activity = proximity to any of 3 planted pharmacophore centers.
+    centers = rng.standard_normal((3, latent_dim)) * 1.5
+    d2 = ((v[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2).min(axis=1)
+    # Threshold chosen to hit the requested active fraction.
+    thresh = np.quantile(d2, active_fraction)
+    labels = (d2 <= thresh).astype(np.int64)
+    readout = rng.standard_normal((latent_dim, n_drug_features)) / np.sqrt(latent_dim)
+    x = v @ readout + feature_noise * rng.standard_normal((n_compounds, n_drug_features))
+    return x, labels

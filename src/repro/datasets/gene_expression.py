@@ -1,0 +1,143 @@
+"""Synthetic tumor gene-expression data with planted pathway structure.
+
+Substitutes for the TCGA/GDC expression matrices the keynote's projects use
+(real patient data is not redistributable).  The generative model plants
+exactly the structure the DL-vs-baseline comparison (experiment E7) needs:
+
+* genes are grouped into latent **pathways**;
+* each tumor type activates a characteristic subset of pathways;
+* expression is a *nonlinear* (saturating) function of pathway activity
+  plus gene-level noise — so linear baselines underfit but are not hopeless;
+* genes are laid out so co-pathway genes are adjacent, giving 1-D
+  convolutions (the NT3 benchmark) local structure to exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ExpressionDataset:
+    """Gene-expression matrix with tumor-type labels.
+
+    Attributes
+    ----------
+    x: (n_samples, n_genes) float array, z-scored per gene.
+    y: (n_samples,) integer tumor-type labels.
+    n_classes: number of tumor types.
+    pathway_of_gene: (n_genes,) pathway index of each gene (ground truth).
+    class_pathways: (n_classes, n_pathways) planted activation pattern.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    n_classes: int
+    pathway_of_gene: np.ndarray
+    class_pathways: np.ndarray
+
+    @property
+    def n_genes(self) -> int:
+        return self.x.shape[1]
+
+    def as_conv_input(self) -> np.ndarray:
+        """Reshape to (n_samples, 1 channel, n_genes) for Conv1D models."""
+        return self.x[:, None, :]
+
+
+def make_tumor_expression(
+    n_samples: int = 600,
+    n_genes: int = 400,
+    n_classes: int = 4,
+    n_pathways: int = 20,
+    noise: float = 0.5,
+    nonlinearity: str = "tanh",
+    class_balance: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> ExpressionDataset:
+    """Generate a tumor-typing dataset.
+
+    Parameters
+    ----------
+    noise:
+        Gene-level Gaussian noise std (higher = harder problem).
+    nonlinearity:
+        'tanh' (saturating, default) or 'linear' (ablation: with 'linear'
+        the logistic baseline should match the DL model).
+    class_balance:
+        Optional per-class sampling probabilities.
+    """
+    if n_pathways > n_genes:
+        raise ValueError("need at least one gene per pathway")
+    if n_classes < 2:
+        raise ValueError("need at least two tumor types")
+    rng = np.random.default_rng(seed)
+
+    # Class-specific pathway activation patterns: each class turns a random
+    # ~40% of pathways strongly on, the rest near zero, plus a shared basal set.
+    class_pathways = rng.normal(0.0, 0.3, size=(n_classes, n_pathways))
+    for c in range(n_classes):
+        active = rng.choice(n_pathways, size=max(2, int(0.4 * n_pathways)), replace=False)
+        class_pathways[c, active] += rng.choice([-2.0, 2.0], size=active.size)
+
+    # Contiguous gene->pathway layout (co-pathway genes adjacent).
+    sizes = np.full(n_pathways, n_genes // n_pathways)
+    sizes[: n_genes % n_pathways] += 1
+    pathway_of_gene = np.repeat(np.arange(n_pathways), sizes)
+
+    # Gene loadings: how strongly each gene reads out its pathway.
+    loadings = rng.normal(1.0, 0.3, size=n_genes) * rng.choice([1.0, -1.0], size=n_genes, p=[0.8, 0.2])
+
+    probs = class_balance if class_balance is not None else np.full(n_classes, 1.0 / n_classes)
+    probs = np.asarray(probs, dtype=np.float64)
+    probs = probs / probs.sum()
+    y = rng.choice(n_classes, size=n_samples, p=probs)
+
+    # Per-sample pathway activity = class pattern + biological variability.
+    activity = class_pathways[y] + rng.normal(0.0, 0.4, size=(n_samples, n_pathways))
+    gene_activity = activity[:, pathway_of_gene] * loadings[None, :]
+    if nonlinearity == "tanh":
+        signal = np.tanh(gene_activity)
+    elif nonlinearity == "linear":
+        signal = gene_activity
+    else:
+        raise ValueError(f"unknown nonlinearity {nonlinearity!r}")
+    x = signal + rng.normal(0.0, noise, size=(n_samples, n_genes))
+
+    # z-score per gene, like standard expression preprocessing.
+    x = (x - x.mean(axis=0)) / (x.std(axis=0) + 1e-9)
+    return ExpressionDataset(
+        x=x, y=y, n_classes=n_classes,
+        pathway_of_gene=pathway_of_gene, class_pathways=class_pathways,
+    )
+
+
+def make_autoencoder_expression(
+    n_samples: int = 800,
+    n_genes: int = 400,
+    latent_dim: int = 10,
+    noise: float = 0.3,
+    saturation: float = 1.0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expression data on a low-dimensional nonlinear manifold, for the
+    P1B1 autoencoder benchmark.  Returns (x, latent) where ``latent`` is the
+    ground-truth coordinate — an autoencoder with bottleneck >= latent_dim
+    should reconstruct well; smaller bottlenecks should degrade.
+
+    ``saturation`` scales the pre-tanh activations: at 1.0 the manifold is
+    mildly nonlinear (linear PCA nearly matches an autoencoder); at 3+ the
+    tanh saturates and the manifold's *linear* rank far exceeds
+    ``latent_dim``, so a nonlinear bottleneck genuinely wins.
+    """
+    rng = np.random.default_rng(seed)
+    z = rng.standard_normal((n_samples, latent_dim))
+    # Two random nonlinear decoding layers: z -> hidden -> genes.
+    w1 = rng.standard_normal((latent_dim, 3 * latent_dim)) / np.sqrt(latent_dim)
+    w2 = rng.standard_normal((3 * latent_dim, n_genes)) / np.sqrt(3 * latent_dim)
+    x = np.tanh(saturation * (z @ w1)) @ w2 + noise * rng.standard_normal((n_samples, n_genes))
+    x = (x - x.mean(axis=0)) / (x.std(axis=0) + 1e-9)
+    return x, z

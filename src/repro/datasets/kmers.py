@@ -1,0 +1,97 @@
+"""K-mer featurization of DNA sequences.
+
+The feature pipeline for the antimicrobial-resistance workload: genomes
+become fixed-length vectors of k-mer counts (optionally feature-hashed to a
+manageable dimension, as large-scale AMR pipelines do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+BASES = "ACGT"
+_BASE_TO_INT = {b: i for i, b in enumerate(BASES)}
+
+
+def encode_sequence(seq: str) -> np.ndarray:
+    """DNA string -> int array in {0..3}; raises on non-ACGT characters."""
+    try:
+        return np.fromiter((_BASE_TO_INT[c] for c in seq), dtype=np.int64, count=len(seq))
+    except KeyError as e:
+        raise ValueError(f"invalid base {e.args[0]!r} in sequence") from None
+
+
+def kmer_indices(encoded: np.ndarray, k: int) -> np.ndarray:
+    """Rolling base-4 index of every k-mer in an encoded sequence.
+
+    Vectorized: a strided window view dotted with powers of 4.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = encoded.size
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    powers = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(encoded, k)
+    return windows @ powers
+
+
+def kmer_count_vector(seq: str, k: int, n_features: int = 0) -> np.ndarray:
+    """Count k-mers of ``seq``.
+
+    With ``n_features == 0`` the vector has length 4**k (exact counts);
+    otherwise counts are feature-hashed into ``n_features`` buckets
+    (modular hashing with a multiplicative mix to decorrelate buckets).
+    """
+    idx = kmer_indices(encode_sequence(seq), k)
+    if n_features <= 0:
+        out = np.zeros(4 ** k, dtype=np.float64)
+        np.add.at(out, idx, 1.0)
+        return out
+    # Multiplicative hashing (Knuth) before the modulus.
+    hashed = (idx * np.int64(2654435761)) % np.int64(n_features)
+    out = np.zeros(n_features, dtype=np.float64)
+    np.add.at(out, hashed, 1.0)
+    return out
+
+
+def featurize_genomes(
+    genomes: Sequence[str],
+    k: int = 6,
+    n_features: int = 512,
+    normalize: bool = True,
+) -> np.ndarray:
+    """K-mer count matrix for a genome collection.
+
+    ``normalize`` scales each row to unit L2 norm so genome length doesn't
+    leak into the features.
+    """
+    rows = [kmer_count_vector(g, k, n_features) for g in genomes]
+    x = np.stack(rows)
+    if normalize:
+        norms = np.linalg.norm(x, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        x = x / norms
+    return x
+
+
+def kmer_of_bucket(bucket: int, k: int, n_features: int, max_enumerate: int = 4 ** 10) -> List[str]:
+    """Inverse lookup used by mechanism discovery: which k-mers hash into a
+    bucket.  Enumerates all 4**k k-mers, so only feasible for small k."""
+    total = 4 ** k
+    if total > max_enumerate:
+        raise ValueError(f"4**{k} k-mers is too many to enumerate")
+    idx = np.arange(total, dtype=np.int64)
+    hashed = (idx * np.int64(2654435761)) % np.int64(n_features)
+    hits = np.nonzero(hashed == bucket)[0]
+    out = []
+    for h in hits:
+        chars = []
+        v = int(h)
+        for _ in range(k):
+            chars.append(BASES[v % 4])
+            v //= 4
+        out.append("".join(reversed(chars)))
+    return out

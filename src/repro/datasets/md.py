@@ -1,0 +1,164 @@
+"""Toy molecular-dynamics engine: overdamped Langevin dynamics on rugged
+2-D potential-energy landscapes.
+
+Substitutes for the "large-scale multi-resolution molecular dynamics
+simulations used to explore cancer gene signaling pathways" (claim C3).
+The substitution preserves the *workflow* property that matters: the
+landscape has many metastable basins separated by barriers, so which
+starting points you simulate from determines which basins you discover —
+exactly the decision the DL supervisor in
+:mod:`repro.workflow.md_supervision` learns to make.
+
+Using a known analytic landscape means basin coverage is exactly
+measurable, which a real MD code would not allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GaussianWellsPotential:
+    """Sum of inverted Gaussian wells plus a confining quadratic bowl.
+
+    V(x) = 0.5 * confine * |x|^2 - sum_i depth_i * exp(-|x - c_i|^2 / (2 w_i^2))
+
+    Attributes
+    ----------
+    centers: (n_wells, dim) well centers.
+    depths:  (n_wells,) well depths (positive).
+    widths:  (n_wells,) Gaussian widths.
+    confine: curvature of the confining bowl.
+    """
+
+    centers: np.ndarray
+    depths: np.ndarray
+    widths: np.ndarray
+    confine: float = 0.05
+
+    def __post_init__(self) -> None:
+        self.centers = np.atleast_2d(np.asarray(self.centers, dtype=np.float64))
+        self.depths = np.asarray(self.depths, dtype=np.float64)
+        self.widths = np.asarray(self.widths, dtype=np.float64)
+        if not (len(self.centers) == len(self.depths) == len(self.widths)):
+            raise ValueError("centers, depths, widths must have equal length")
+        if np.any(self.depths <= 0) or np.any(self.widths <= 0):
+            raise ValueError("depths and widths must be positive")
+
+    @property
+    def n_wells(self) -> int:
+        return len(self.centers)
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    def energy(self, x: np.ndarray) -> np.ndarray:
+        """Potential energy at points ``x`` of shape (..., dim)."""
+        x = np.asarray(x, dtype=np.float64)
+        diff = x[..., None, :] - self.centers  # (..., n_wells, dim)
+        d2 = (diff ** 2).sum(axis=-1)
+        wells = (self.depths * np.exp(-d2 / (2 * self.widths ** 2))).sum(axis=-1)
+        bowl = 0.5 * self.confine * (x ** 2).sum(axis=-1)
+        return bowl - wells
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Analytic gradient dV/dx, shape matching ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        diff = x[..., None, :] - self.centers  # (..., n_wells, dim)
+        d2 = (diff ** 2).sum(axis=-1, keepdims=True)
+        gauss = self.depths[..., :, None] * np.exp(-d2 / (2 * self.widths[..., :, None] ** 2))
+        well_grad = (gauss * diff / self.widths[..., :, None] ** 2).sum(axis=-2)
+        return self.confine * x + well_grad
+
+    def basin_of(self, x: np.ndarray, cutoff_factor: float = 2.0) -> np.ndarray:
+        """Index of the well whose basin contains each point, or -1.
+
+        A point belongs to the nearest center if within
+        ``cutoff_factor * width`` of it — a geometric proxy for the true
+        basin of attraction that is exact for well-separated wells.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        diff = x[:, None, :] - self.centers
+        dist = np.sqrt((diff ** 2).sum(axis=-1))
+        nearest = dist.argmin(axis=1)
+        within = dist[np.arange(len(x)), nearest] <= cutoff_factor * self.widths[nearest]
+        out = np.where(within, nearest, -1)
+        return out
+
+
+def make_rugged_landscape(
+    n_wells: int = 12,
+    dim: int = 2,
+    extent: float = 6.0,
+    depth_range: Tuple[float, float] = (1.0, 3.0),
+    width_range: Tuple[float, float] = (0.4, 0.8),
+    min_separation: float = 1.5,
+    seed: int = 0,
+) -> GaussianWellsPotential:
+    """Random multi-well landscape with minimum well separation.
+
+    Wells are placed by rejection sampling so basins don't merge; depths
+    are drawn so some basins are much harder to reach (rare states — the
+    interesting discoveries for the adaptive sampler).
+    """
+    rng = np.random.default_rng(seed)
+    centers: List[np.ndarray] = []
+    attempts = 0
+    while len(centers) < n_wells:
+        attempts += 1
+        if attempts > 10000:
+            raise RuntimeError("could not place wells; lower n_wells or min_separation")
+        c = rng.uniform(-extent, extent, size=dim)
+        if all(np.linalg.norm(c - e) >= min_separation for e in centers):
+            centers.append(c)
+    depths = rng.uniform(*depth_range, size=n_wells)
+    widths = rng.uniform(*width_range, size=n_wells)
+    return GaussianWellsPotential(np.array(centers), depths, widths)
+
+
+def langevin_trajectory(
+    potential: GaussianWellsPotential,
+    x0: np.ndarray,
+    n_steps: int = 500,
+    dt: float = 0.01,
+    temperature: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+    record_every: int = 10,
+) -> np.ndarray:
+    """Overdamped Langevin dynamics from ``x0``.
+
+    dx = -grad V dt + sqrt(2 T dt) dW.  Returns recorded positions of shape
+    (n_recorded, dim); the walker is the 'simulation' whose compute budget
+    the supervised-MD experiment allocates.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    x = np.asarray(x0, dtype=np.float64).copy()
+    sigma = np.sqrt(2.0 * temperature * dt)
+    recorded = []
+    for step in range(n_steps):
+        x = x - potential.gradient(x) * dt + sigma * rng.standard_normal(x.shape)
+        if (step + 1) % record_every == 0:
+            recorded.append(x.copy())
+    if not recorded:
+        recorded.append(x.copy())
+    return np.array(recorded)
+
+
+def basin_coverage(potential: GaussianWellsPotential, samples: np.ndarray) -> float:
+    """Fraction of the landscape's basins visited by ``samples``."""
+    basins = potential.basin_of(samples)
+    found = set(int(b) for b in basins if b >= 0)
+    return len(found) / potential.n_wells
+
+
+def visited_basins(potential: GaussianWellsPotential, samples: np.ndarray) -> np.ndarray:
+    """Sorted array of distinct basin indices visited (excluding -1)."""
+    basins = potential.basin_of(samples)
+    return np.unique(basins[basins >= 0])

@@ -1,0 +1,70 @@
+"""SimCluster: the simulated machine every experiment runs against.
+
+A cluster is N identical nodes (a :class:`~repro.hpc.hardware.NodeSpec`)
+joined by a :class:`~repro.hpc.network.Network`.  Convenience constructors
+build the 2017-era machines from the hardware catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .hardware import MACHINES, NodeSpec, get_machine
+from .network import LinkSpec, Network
+from .topology import Topology, make_topology
+
+
+@dataclass
+class SimCluster:
+    """N nodes + fabric."""
+
+    node: NodeSpec
+    network: Network
+
+    @property
+    def n_nodes(self) -> int:
+        return self.network.n_nodes
+
+    @classmethod
+    def build(
+        cls,
+        machine: str = "summit_era",
+        n_nodes: int = 64,
+        topology: str = "fat_tree",
+        link_bandwidth: Optional[float] = None,
+        link_alpha: Optional[float] = None,
+    ) -> "SimCluster":
+        """Construct a cluster from catalog names.
+
+        ``link_bandwidth`` defaults to the node's NIC bandwidth (the fabric
+        is injection-limited, the common case).
+        """
+        node = get_machine(machine)
+        topo = make_topology(topology, n_nodes)
+        bw = link_bandwidth if link_bandwidth is not None else node.nic_bandwidth
+        alpha = link_alpha if link_alpha is not None else node.nic_latency
+        link = LinkSpec.from_bandwidth(bw, alpha=alpha)
+        return cls(node=node, network=Network(topo, link))
+
+    def subcluster(self, n_nodes: int, topology: Optional[str] = None) -> "SimCluster":
+        """A smaller cluster with the same node type and link parameters —
+        used to model intra-group fabrics for hybrid parallelism."""
+        if n_nodes < 1 or n_nodes > self.n_nodes:
+            raise ValueError(f"subcluster size {n_nodes} out of range [1, {self.n_nodes}]")
+        topo_kind = topology or type(self.network.topology).__name__.lower()
+        # Normalize class names back to registry keys.
+        aliases = {"fattree": "fat_tree", "torus": "torus3d"}
+        topo_kind = aliases.get(topo_kind, topo_kind)
+        topo = make_topology(topo_kind, n_nodes)
+        return SimCluster(node=self.node, network=Network(topo, self.network.link))
+
+    def with_link_bandwidth(self, bandwidth: float) -> "SimCluster":
+        """Same cluster with a different fabric bandwidth (E3 sweeps this)."""
+        link = LinkSpec(
+            alpha=self.network.link.alpha,
+            beta=1.0 / bandwidth,
+            per_hop=self.network.link.per_hop,
+            energy_per_byte=self.network.link.energy_per_byte,
+        )
+        return SimCluster(node=self.node, network=Network(self.network.topology, link))

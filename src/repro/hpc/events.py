@@ -1,0 +1,121 @@
+"""Minimal discrete-event simulation core.
+
+Drives the asynchronous hyperparameter-search scheduler (experiment E6):
+workers are resources whose job completions are events; the search
+strategy reacts to each completion by scheduling the next trial.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """A priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()  # FIFO tie-break at equal times
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        events = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if events >= max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events}); runaway simulation?")
+            self.step()
+            events += 1
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+
+class WorkerPool:
+    """N identical workers consuming jobs from a queue inside an EventLoop.
+
+    ``submit(duration, on_done)`` either starts the job on a free worker or
+    enqueues it; completions fire ``on_done(worker_id)`` and immediately
+    pull the next queued job — standard async task-farm semantics.
+    """
+
+    def __init__(self, loop: EventLoop, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.loop = loop
+        self.n_workers = n_workers
+        self._free: List[int] = list(range(n_workers))
+        self._backlog: List[Tuple[float, Callable[[int], None]]] = []
+        self.busy_time = 0.0
+
+    def submit(self, duration: float, on_done: Callable[[int], None]) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self._free:
+            self._start(self._free.pop(), duration, on_done)
+        else:
+            self._backlog.append((duration, on_done))
+
+    def _start(self, worker: int, duration: float, on_done: Callable[[int], None]) -> None:
+        self.busy_time += duration
+
+        def finish() -> None:
+            on_done(worker)
+            if self._backlog:
+                next_duration, next_done = self._backlog.pop(0)
+                self._start(worker, next_duration, next_done)
+            else:
+                self._free.append(worker)
+
+        self.loop.schedule(duration, finish)
+
+    @property
+    def idle_workers(self) -> int:
+        return len(self._free)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._backlog)
+
+    def utilization(self) -> float:
+        """Busy-time fraction of total worker-time so far."""
+        wall = self.loop.now
+        if wall <= 0:
+            return 0.0
+        return min(self.busy_time / (wall * self.n_workers), 1.0)

@@ -1,0 +1,216 @@
+"""Hardware specifications: memory tiers, accelerators, nodes.
+
+All constants are order-of-magnitude realistic for the 2017 machine
+generation the keynote targets (Titan/Summit/Theta-era), plus a "future"
+design point embodying the keynote's wishlist (HBM close to compute, fat
+low-precision units, node-local NVRAM).  Absolute values don't matter for
+the experiments — the *ratios* (flops:bytes, tier:tier bandwidth) drive
+every crossover the benches measure.
+
+Units: bytes, seconds, FLOP/s, bytes/s, joules (energy per op in pJ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+GB = 1e9
+TB = 1e12
+GBPS = 1e9  # bytes/s
+TFLOPS = 1e12
+
+#: Bytes per element for each supported precision.
+DTYPE_BYTES: Dict[str, int] = {"fp64": 8, "fp32": 4, "fp16": 2, "bf16": 2, "int8": 1}
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """One level of the memory/storage hierarchy.
+
+    Attributes
+    ----------
+    name: tier label (hbm/dram/nvram/pfs).
+    capacity: bytes available per node (PFS: per job, effectively huge).
+    bandwidth: sustained bytes/s per node.
+    latency: access latency in seconds (first byte).
+    energy_per_byte: pJ moved per byte read or written.
+    """
+
+    name: str
+    capacity: float
+    bandwidth: float
+    latency: float
+    energy_per_byte: float  # picojoules
+
+    def access_time(self, nbytes: float) -> float:
+        """Latency + transfer time for ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+    def access_energy(self, nbytes: float) -> float:
+        """Joules to move ``nbytes`` through this tier."""
+        return nbytes * self.energy_per_byte * 1e-12
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Compute device: peak throughput per precision + on-device memory.
+
+    ``peak_flops`` maps precision name -> FLOP/s.  ``efficiency`` is the
+    fraction of peak achievable on large GEMMs (real kernels never hit
+    100%); bandwidth-bound ops are limited by ``mem_bandwidth`` instead —
+    the roofline model in :mod:`repro.hpc.perfmodel` combines the two.
+    """
+
+    name: str
+    peak_flops: Dict[str, float]
+    mem_bandwidth: float  # bytes/s to the closest tier (HBM/GDDR)
+    mem_capacity: float  # bytes of device memory
+    efficiency: float = 0.75
+    energy_per_flop: Dict[str, float] = field(
+        default_factory=lambda: {"fp64": 20.0, "fp32": 10.0, "fp16": 5.0, "bf16": 5.0, "int8": 2.5}
+    )  # pJ per op
+
+    def effective_flops(self, precision: str) -> float:
+        try:
+            return self.peak_flops[precision] * self.efficiency
+        except KeyError:
+            raise ValueError(
+                f"{self.name} has no {precision!r} datapath; supports {sorted(self.peak_flops)}"
+            )
+
+    def supports(self, precision: str) -> bool:
+        return precision in self.peak_flops
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: accelerator + memory tier stack.
+
+    ``tiers`` is ordered fastest-first; data placement experiments walk it.
+    """
+
+    name: str
+    accelerator: AcceleratorSpec
+    tiers: Tuple[MemoryTier, ...]
+    nic_bandwidth: float = 12.5 * GBPS  # node injection bandwidth
+    nic_latency: float = 1.5e-6
+    idle_power: float = 200.0  # watts, for the energy model
+
+    def tier(self, name: str) -> MemoryTier:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise ValueError(f"node {self.name} has no tier {name!r}; has {[t.name for t in self.tiers]}")
+
+    def has_tier(self, name: str) -> bool:
+        return any(t.name == name for t in self.tiers)
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+def _hbm(cap=16 * GB, bw=700 * GBPS) -> MemoryTier:
+    return MemoryTier("hbm", cap, bw, 1e-7, 7.0)
+
+
+def _dram(cap=256 * GB, bw=90 * GBPS) -> MemoryTier:
+    return MemoryTier("dram", cap, bw, 1e-7, 20.0)
+
+
+def _nvram(cap=1.6 * TB, bw=6 * GBPS) -> MemoryTier:
+    return MemoryTier("nvram", cap, bw, 1e-5, 100.0)
+
+
+def _pfs(bw=2 * GBPS) -> MemoryTier:
+    # Per-node share of a parallel filesystem under full-machine load.
+    return MemoryTier("pfs", 1e18, bw, 5e-3, 500.0)
+
+
+#: 2012-era GPU node (Titan-like): strong fp64, no fast half precision.
+TITAN_ERA = NodeSpec(
+    name="titan_era",
+    accelerator=AcceleratorSpec(
+        name="k20x_like",
+        peak_flops={"fp64": 1.3 * TFLOPS, "fp32": 3.9 * TFLOPS},
+        mem_bandwidth=250 * GBPS,
+        mem_capacity=6 * GB,
+    ),
+    tiers=(
+        MemoryTier("hbm", 6 * GB, 250 * GBPS, 1e-7, 10.0),  # GDDR5, modelled as the near tier
+        _dram(32 * GB, 50 * GBPS),
+        _pfs(1 * GBPS),
+    ),
+    nic_bandwidth=8 * GBPS,
+    nic_latency=2.5e-6,
+)
+
+#: 2017-era GPU node (Summit-like): HBM2 + NVLink + fp16 tensor units + NVRAM.
+SUMMIT_ERA = NodeSpec(
+    name="summit_era",
+    accelerator=AcceleratorSpec(
+        name="v100_like",
+        peak_flops={"fp64": 7.8 * TFLOPS, "fp32": 15.7 * TFLOPS, "fp16": 125 * TFLOPS, "bf16": 125 * TFLOPS},
+        mem_bandwidth=900 * GBPS,
+        mem_capacity=16 * GB,
+    ),
+    tiers=(_hbm(16 * GB, 900 * GBPS), _dram(512 * GB, 135 * GBPS), _nvram(1.6 * TB, 6 * GBPS), _pfs(2.5 * GBPS)),
+    nic_bandwidth=25 * GBPS,
+    nic_latency=1.0e-6,
+)
+
+#: Many-core CPU node (Theta/KNL-like): MCDRAM as the near tier.
+KNL_ERA = NodeSpec(
+    name="knl_era",
+    accelerator=AcceleratorSpec(
+        name="knl_like",
+        peak_flops={"fp64": 2.6 * TFLOPS, "fp32": 5.2 * TFLOPS},
+        mem_bandwidth=450 * GBPS,
+        mem_capacity=16 * GB,
+        efficiency=0.6,
+    ),
+    tiers=(MemoryTier("hbm", 16 * GB, 450 * GBPS, 1.5e-7, 12.0), _dram(192 * GB, 90 * GBPS), _pfs(1.5 * GBPS)),
+    nic_bandwidth=12.5 * GBPS,
+    nic_latency=1.5e-6,
+)
+
+#: The keynote's wishlist node: fat low-precision units, HBM at the
+#: arithmetic, big node-local NVRAM, high-bandwidth fabric.
+FUTURE_DL = NodeSpec(
+    name="future_dl",
+    accelerator=AcceleratorSpec(
+        name="dl_asic",
+        peak_flops={
+            "fp64": 10 * TFLOPS,
+            "fp32": 40 * TFLOPS,
+            "fp16": 320 * TFLOPS,
+            "bf16": 320 * TFLOPS,
+            "int8": 640 * TFLOPS,
+        },
+        mem_bandwidth=2000 * GBPS,
+        mem_capacity=64 * GB,
+        efficiency=0.8,
+        energy_per_flop={"fp64": 15.0, "fp32": 6.0, "fp16": 2.0, "bf16": 2.0, "int8": 0.8},
+    ),
+    tiers=(_hbm(64 * GB, 2000 * GBPS), _dram(512 * GB, 200 * GBPS), _nvram(4 * TB, 12 * GBPS), _pfs(5 * GBPS)),
+    nic_bandwidth=100 * GBPS,
+    nic_latency=0.8e-6,
+)
+
+MACHINES: Dict[str, NodeSpec] = {
+    "titan_era": TITAN_ERA,
+    "summit_era": SUMMIT_ERA,
+    "knl_era": KNL_ERA,
+    "future_dl": FUTURE_DL,
+}
+
+
+def get_machine(name: str) -> NodeSpec:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ValueError(f"unknown machine {name!r}; choose from {sorted(MACHINES)}")

@@ -1,0 +1,90 @@
+"""Analysis of search results: curve aggregation and bootstrap comparison.
+
+Comparing HPO strategies honestly needs more than one seed: this module
+aggregates best-so-far trajectories across repeated runs and answers "is
+strategy A better than B?" with a bootstrap confidence interval rather
+than a single-point comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .results import ResultLog
+
+
+def aggregate_trajectories(logs: Sequence[ResultLog], length: Optional[int] = None) -> Dict[str, np.ndarray]:
+    """Align best-so-far curves across runs.
+
+    Returns dict with 'median', 'q25', 'q75' arrays of the common length
+    (the shortest run unless ``length`` is given; shorter runs are
+    right-padded with their final best).
+    """
+    if not logs:
+        raise ValueError("need at least one result log")
+    curves = [log.trajectory() for log in logs]
+    if any(len(c) == 0 for c in curves):
+        raise ValueError("every log must contain at least one trial")
+    n = length or max(len(c) for c in curves)
+    mat = np.empty((len(curves), n))
+    for i, c in enumerate(curves):
+        c = np.asarray(c[:n], dtype=np.float64)
+        mat[i, : len(c)] = c
+        if len(c) < n:
+            mat[i, len(c):] = c[-1]
+    return {
+        "median": np.median(mat, axis=0),
+        "q25": np.percentile(mat, 25, axis=0),
+        "q75": np.percentile(mat, 75, axis=0),
+    }
+
+
+@dataclass
+class Comparison:
+    """Bootstrap comparison of two strategies' final best values."""
+
+    mean_diff: float  # mean(best_a) - mean(best_b); negative = A better
+    ci_low: float
+    ci_high: float
+    p_a_better: float  # bootstrap probability that A's mean is lower
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI excludes zero."""
+        return self.ci_high < 0 or self.ci_low > 0
+
+
+def bootstrap_compare(
+    bests_a: Sequence[float],
+    bests_b: Sequence[float],
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> Comparison:
+    """Bootstrap CI on the difference of mean best values (A minus B)."""
+    a = np.asarray(bests_a, dtype=np.float64)
+    b = np.asarray(bests_b, dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least 2 runs per strategy")
+    rng = np.random.default_rng(seed)
+    diffs = np.empty(n_boot)
+    for i in range(n_boot):
+        diffs[i] = rng.choice(a, a.size).mean() - rng.choice(b, b.size).mean()
+    return Comparison(
+        mean_diff=float(a.mean() - b.mean()),
+        ci_low=float(np.percentile(diffs, 2.5)),
+        ci_high=float(np.percentile(diffs, 97.5)),
+        p_a_better=float((diffs < 0).mean()),
+    )
+
+
+def rank_strategies(results: Dict[str, Sequence[float]]) -> List[Tuple[str, float, float]]:
+    """(name, mean best, std) sorted best-first."""
+    rows = [
+        (name, float(np.mean(vals)), float(np.std(vals)))
+        for name, vals in results.items()
+    ]
+    rows.sort(key=lambda r: r[1])
+    return rows

@@ -1,0 +1,132 @@
+"""Objectives for the HPO experiments.
+
+Two kinds:
+
+* :func:`benchmark_objective` — actually trains a CANDLE-style model
+  (real but slow; used at small trial counts);
+* :class:`SurrogateLandscape` — a deterministic synthetic validation-loss
+  surface over the unit cube (instant; used at the keynote's
+  "tens of thousands of configurations" scale, experiment E5/E6).
+
+The surrogate is constructed to mimic real HPO response surfaces: a few
+good basins, log-sensitive learning-rate-style ridges, interaction terms,
+budget-dependent convergence (more epochs -> closer to the asymptote),
+and heteroscedastic evaluation noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..candle.registry import BenchmarkSpec, get_benchmark
+from ..nn.dataloader import train_val_split
+from .space import Config, SearchSpace
+
+
+class SurrogateLandscape:
+    """Deterministic synthetic HPO landscape over a search space.
+
+    value(config, budget) =
+        asymptote(u) + convergence_gap(u) / budget^0.7 + noise
+
+    where ``asymptote`` has ``n_basins`` Gaussian basins of differing depth
+    (the global optimum is basin 0) plus a sharp lr-style penalty along
+    dimension 0, and noise is seeded per-config (re-evaluating the same
+    config at the same budget is deterministic — like retraining with a
+    fixed seed).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        n_basins: int = 5,
+        noise: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if n_basins < 1:
+            raise ValueError("n_basins must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.space = space
+        d = len(space)
+        self.centers = rng.random((n_basins, d))
+        depths = np.sort(rng.uniform(0.3, 1.0, size=n_basins))[::-1]
+        depths[0] = 1.2  # a strictly best basin
+        self.depths = depths
+        self.widths = rng.uniform(0.08, 0.25, size=n_basins)
+        self.noise = noise
+        self.seed = seed
+        self.evaluations = 0
+
+    def asymptote(self, u: np.ndarray) -> float:
+        """Best-achievable loss at this config (budget -> infinity)."""
+        d2 = ((u[None, :] - self.centers) ** 2).sum(axis=1)
+        basin_pull = (self.depths * np.exp(-d2 / (2 * self.widths ** 2))).max()
+        # lr-ridge: dimension 0 too high blows up (diverging training).
+        lr_penalty = 4.0 * max(u[0] - 0.85, 0.0) ** 2
+        return float(1.5 - basin_pull + lr_penalty)
+
+    def optimum(self) -> float:
+        """Value at the best basin center at infinite budget (noise-free)."""
+        return self.asymptote(self.centers[0])
+
+    def __call__(self, config: Config, budget: int = 1) -> float:
+        self.evaluations += 1
+        u = self.space.to_unit(config)
+        base = self.asymptote(u)
+        gap = 0.8 * (1.0 - 0.5 * np.cos(3.0 * u).mean())  # config-dependent convergence
+        value = base + gap / max(budget, 1) ** 0.7
+        # Deterministic per-(config, budget) noise.
+        h = hash((tuple(np.round(u, 6)), budget, self.seed)) % (2**32)
+        noise = np.random.default_rng(h).normal(0.0, self.noise)
+        return float(value + noise)
+
+
+def benchmark_objective(
+    benchmark: str | BenchmarkSpec,
+    data_seed: int = 0,
+    val_frac: float = 0.25,
+    base_epochs: int = 1,
+    max_samples: int = 400,
+) -> Callable[[Config, int], float]:
+    """Objective that really trains the named CANDLE benchmark.
+
+    The config keys map onto the builder/fit arguments the
+    :func:`repro.hpo.space.candle_mlp_space` space defines.  ``budget``
+    multiplies ``base_epochs``.  Returns validation loss (all metrics are
+    minimized via loss; accuracy-style comparison happens in the benches).
+    """
+    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    x, y = spec.make_data(seed=data_seed)
+    x, y = x[:max_samples], (None if y is None else y[:max_samples])
+    rng = np.random.default_rng(data_seed + 1)
+    x_tr, y_tr, x_va, y_va = train_val_split(x, y, val_frac=val_frac, rng=rng)
+
+    def objective(config: Config, budget: int = 1) -> float:
+        cfg = dict(config)
+        lr = float(cfg.pop("lr", 1e-3))
+        batch_size = int(cfg.pop("batch_size", 32))
+        hidden1 = cfg.pop("hidden1", None)
+        hidden2 = cfg.pop("hidden2", None)
+        if hidden1 is not None:
+            hidden = (int(hidden1),) if hidden2 is None else (int(hidden1), int(hidden2))
+            cfg["hidden"] = hidden
+        try:
+            model = spec.build_model(**cfg)
+            model.fit(
+                x_tr, y_tr,
+                epochs=max(1, base_epochs * budget),
+                batch_size=batch_size,
+                loss=spec.loss,
+                lr=lr,
+                seed=0,
+            )
+            val = model.evaluate(x_va, y_va, loss=spec.loss)["loss"]
+        except (ValueError, FloatingPointError, OverflowError):
+            return float("inf")  # infeasible config (diverged / bad shape)
+        if not np.isfinite(val):
+            return float("inf")
+        return float(val)
+
+    return objective

@@ -1,0 +1,89 @@
+"""Trial records and search-result logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .space import Config
+
+
+@dataclass
+class Trial:
+    """One objective evaluation.
+
+    value: objective (lower is better — maximize metrics are negated by
+    the objective wrapper).
+    budget: fidelity (training epochs) this evaluation used.
+    sim_time: simulated wall-clock completion time (parallel schedulers).
+    """
+
+    trial_id: int
+    config: Config
+    value: float
+    budget: int = 1
+    sim_time: float = 0.0
+    worker: int = -1
+
+
+class ResultLog:
+    """Append-only record of trials with best-so-far queries."""
+
+    def __init__(self) -> None:
+        self.trials: List[Trial] = []
+
+    def add(self, trial: Trial) -> None:
+        self.trials.append(trial)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    @property
+    def values(self) -> List[float]:
+        return [t.value for t in self.trials]
+
+    def best(self) -> Trial:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        finite = [t for t in self.trials if np.isfinite(t.value)]
+        if not finite:
+            raise ValueError("no finite trial values")
+        return min(finite, key=lambda t: t.value)
+
+    def best_value(self) -> float:
+        return self.best().value
+
+    def best_config(self) -> Config:
+        return self.best().config
+
+    def trajectory(self) -> List[float]:
+        """Best-so-far value after each trial (the E5 comparison curve)."""
+        out: List[float] = []
+        best = np.inf
+        for t in self.trials:
+            if np.isfinite(t.value):
+                best = min(best, t.value)
+            out.append(best)
+        return out
+
+    def total_budget(self) -> int:
+        """Sum of fidelities spent — the fair x-axis for multi-fidelity
+        methods like Hyperband."""
+        return sum(t.budget for t in self.trials)
+
+    def time_to_value(self, target: float) -> Optional[float]:
+        """Simulated time when the objective first reached ``target``
+        (None if never) — the E6 time-to-accuracy metric."""
+        for t in sorted(self.trials, key=lambda t: t.sim_time):
+            if np.isfinite(t.value) and t.value <= target:
+                return t.sim_time
+        return None
+
+    def trials_to_value(self, target: float) -> Optional[int]:
+        """Number of trials until the objective first reached ``target``."""
+        for i, v in enumerate(self.trajectory(), start=1):
+            if v <= target:
+                return i
+        return None

@@ -1,0 +1,185 @@
+"""Search drivers: sequential and simulated-parallel (search parallelism).
+
+The parallel scheduler runs a strategy over a :class:`WorkerPool` inside
+the discrete-event loop, with a per-trial *simulated duration* from a cost
+model — so E6 can measure time-to-accuracy against worker count, sync vs
+async, on any simulated cluster without burning real compute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..hpc.events import EventLoop, WorkerPool
+from .results import ResultLog, Trial
+from .space import Config
+from .strategies.base import Strategy, Suggestion
+
+#: objective(config, budget) -> value (lower is better)
+Objective = Callable[[Config, int], float]
+#: cost_model(config, budget) -> simulated seconds
+CostModel = Callable[[Config, int], float]
+
+
+def run_sequential(strategy: Strategy, objective: Objective, n_trials: int) -> ResultLog:
+    """Ask/evaluate/tell loop.  Stops early if the strategy is exhausted."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    log = ResultLog()
+    trial_id = 0
+    stalls = 0
+    while trial_id < n_trials:
+        sug = strategy.ask()
+        if sug is None:
+            if strategy.exhausted():
+                break
+            stalls += 1
+            if stalls > 10:
+                # Multi-fidelity strategies can momentarily stall in a
+                # sequential loop only if they have outstanding work —
+                # impossible here, so treat it as exhaustion.
+                break
+            continue
+        stalls = 0
+        value = objective(sug.config, sug.budget)
+        strategy.tell(sug, value)
+        log.add(Trial(trial_id=trial_id, config=sug.config, value=value, budget=sug.budget))
+        trial_id += 1
+    return log
+
+
+def constant_cost(seconds: float = 1.0) -> CostModel:
+    """Cost model: every trial takes the same simulated time."""
+
+    def model(config: Config, budget: int) -> float:
+        return seconds * budget
+
+    return model
+
+
+def run_parallel(
+    strategy: Strategy,
+    objective: Objective,
+    n_trials: int,
+    n_workers: int,
+    cost_model: Optional[CostModel] = None,
+    sync: bool = False,
+    failure_rate: float = 0.0,
+    max_retries: int = 3,
+    failure_seed: int = 0,
+) -> ResultLog:
+    """Run the search on ``n_workers`` simulated workers.
+
+    async (default): a worker that finishes immediately asks for new work —
+    results arrive out of order and the strategy sees them as they land.
+
+    sync: workers proceed in barriers of ``n_workers`` suggestions; the
+    strategy only sees results at barrier boundaries (the BSP regime whose
+    stragglers E6 quantifies).
+
+    failure injection: each trial execution independently crashes with
+    probability ``failure_rate`` (node failure mid-trial).  A crashed
+    trial burns its full simulated duration, then is resubmitted, up to
+    ``max_retries`` attempts; a trial that exhausts its retries is
+    reported to the strategy as ``inf`` (the campaign completes
+    regardless).  Only the async scheduler injects failures — sync-mode
+    campaigns would simply restart the whole wave.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if not 0.0 <= failure_rate < 1.0:
+        raise ValueError("failure_rate must be in [0, 1)")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    failure_rng = np.random.default_rng(failure_seed)
+    cost = cost_model or constant_cost()
+    log = ResultLog()
+    loop = EventLoop()
+
+    if sync:
+        launched = 0
+        while launched < n_trials:
+            batch = []
+            for _ in range(min(n_workers, n_trials - launched)):
+                sug = strategy.ask()
+                if sug is None:
+                    break
+                batch.append(sug)
+            if not batch:
+                break
+            # The barrier: the whole wave costs as long as its slowest trial.
+            durations = [cost(s.config, s.budget) for s in batch]
+            wave_time = max(durations)
+            for worker_id, (sug, dur) in enumerate(zip(batch, durations)):
+                value = objective(sug.config, sug.budget)
+                loop.now += 0  # time accounting below
+                log.add(
+                    Trial(
+                        trial_id=launched, config=sug.config, value=value,
+                        budget=sug.budget, sim_time=loop.now + wave_time, worker=worker_id,
+                    )
+                )
+                strategy.tell(sug, value)
+                launched += 1
+            loop.now += wave_time
+        return log
+
+    pool = WorkerPool(loop, n_workers)
+    state = {"launched": 0, "completed": 0, "failures": 0}
+
+    def submit(sug, tid: int, attempt: int) -> None:
+        duration = cost(sug.config, sug.budget)
+
+        def on_done(worker_id: int, sug=sug, tid=tid, attempt=attempt) -> None:
+            crashed = failure_rate > 0 and failure_rng.random() < failure_rate
+            if crashed and attempt < max_retries:
+                state["failures"] += 1
+                submit(sug, tid, attempt + 1)  # resubmit; queues if all busy
+                # This completion still frees a slot for other pending work.
+                while pool.idle_workers > 0 and launch_one():
+                    pass
+                return
+            if crashed:
+                state["failures"] += 1
+                value = float("inf")  # retries exhausted
+            else:
+                value = objective(sug.config, sug.budget)
+            strategy.tell(sug, value)
+            log.add(
+                Trial(
+                    trial_id=tid, config=sug.config, value=value,
+                    budget=sug.budget, sim_time=loop.now, worker=worker_id,
+                )
+            )
+            state["completed"] += 1
+            # Refill this worker's slot (it is not yet marked idle during
+            # its own completion callback — the job lands in the backlog
+            # and is picked up immediately)...
+            launch_one()
+            # ...then fill any other free slots (a completion may unblock
+            # multiple multi-fidelity promotions).
+            while pool.idle_workers > 0 and launch_one():
+                pass
+
+        pool.submit(duration, on_done)
+
+    def launch_one() -> bool:
+        if state["launched"] >= n_trials:
+            return False
+        sug = strategy.ask()
+        if sug is None:
+            return False  # stalled; completions will retry
+        tid = state["launched"]
+        state["launched"] += 1
+        submit(sug, tid, attempt=0)
+        return True
+
+    # Prime the pool.
+    while pool.idle_workers > 0 and launch_one():
+        pass
+    loop.run()
+    return log

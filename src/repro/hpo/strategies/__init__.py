@@ -1,0 +1,30 @@
+"""Search strategies: naive (grid/random) and intelligent (successive
+halving, Hyperband, evolutionary, GP-Bayesian, generative-NN-guided)."""
+
+from .base import Strategy, Suggestion
+from .bayesian import BayesianSearch, GaussianProcess, expected_improvement
+from .evolutionary import EvolutionarySearch
+from .generative import ConfigVAE, GenerativeSearch
+from .hyperband import Hyperband, SuccessiveHalving
+from .naive import GridSearch, RandomSearch
+from .sampling import LatinHypercubeSearch, MedianStoppingWrapper, PopulationBasedTraining
+
+STRATEGIES = {
+    "random": RandomSearch,
+    "grid": GridSearch,
+    "successive_halving": SuccessiveHalving,
+    "hyperband": Hyperband,
+    "evolutionary": EvolutionarySearch,
+    "bayesian": BayesianSearch,
+    "generative": GenerativeSearch,
+    "lhs": LatinHypercubeSearch,
+    "pbt": PopulationBasedTraining,
+}
+
+__all__ = [
+    "Strategy", "Suggestion", "RandomSearch", "GridSearch",
+    "SuccessiveHalving", "Hyperband", "EvolutionarySearch",
+    "BayesianSearch", "GaussianProcess", "expected_improvement",
+    "GenerativeSearch", "ConfigVAE", "STRATEGIES",
+    "LatinHypercubeSearch", "MedianStoppingWrapper", "PopulationBasedTraining",
+]

@@ -1,0 +1,51 @@
+"""Strategy protocol: ask/tell with optional multi-fidelity budgets.
+
+The ask/tell split lets one strategy implementation drive both the
+sequential loop and the simulated-cluster parallel scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..space import Config, SearchSpace
+
+
+@dataclass
+class Suggestion:
+    """A unit of work a strategy wants evaluated."""
+
+    config: Config
+    budget: int = 1
+    tag: Optional[object] = None  # strategy-private bookkeeping
+
+
+class Strategy:
+    """Base class.  Subclasses override :meth:`ask` and :meth:`tell`.
+
+    ``ask`` may return None to signal "nothing to do until outstanding
+    results arrive" (multi-fidelity rung barriers).
+    """
+
+    name = "base"
+
+    def __init__(self, space: SearchSpace, seed: int = 0, default_budget: int = 1) -> None:
+        if default_budget < 1:
+            raise ValueError("default_budget must be >= 1")
+        self.space = space
+        self.rng = np.random.default_rng(seed)
+        self.default_budget = default_budget
+        self.n_told = 0
+
+    def ask(self) -> Optional[Suggestion]:
+        raise NotImplementedError
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        self.n_told += 1
+
+    def exhausted(self) -> bool:
+        """True when the strategy has nothing left to propose, ever."""
+        return False

@@ -1,0 +1,132 @@
+"""Gaussian-process Bayesian optimization with Expected Improvement.
+
+A from-scratch GP (RBF kernel, Cholesky solves via scipy) over the unit
+hypercube; the acquisition is maximized by scoring a large random
+candidate set — robust and derivative-free, appropriate for mixed
+continuous/categorical spaces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.special import erf
+
+from ..space import SearchSpace
+from .base import Strategy, Suggestion
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / math.sqrt(2 * math.pi)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + erf(z / math.sqrt(2.0)))
+
+
+class GaussianProcess:
+    """Zero-mean GP with an isotropic RBF kernel and observation noise."""
+
+    def __init__(self, length_scale: float = 0.2, signal_var: float = 1.0, noise: float = 1e-4) -> None:
+        if length_scale <= 0 or signal_var <= 0 or noise < 0:
+            raise ValueError("length_scale/signal_var must be > 0, noise >= 0")
+        self.length_scale = length_scale
+        self.signal_var = signal_var
+        self.noise = noise
+        self._x: Optional[np.ndarray] = None
+        self._chol = None
+        self._alpha: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d2 = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        return self.signal_var * np.exp(-0.5 * d2 / self.length_scale ** 2)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_n = (y - self._y_mean) / self._y_std
+        k = self._kernel(x, x) + (self.noise + 1e-10) * np.eye(len(x))
+        self._chol = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._chol, y_n)
+        self._x = x
+        return self
+
+    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(mean, std) at query points, in original y units."""
+        if self._x is None:
+            raise RuntimeError("fit before predict")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=np.float64))
+        k_star = self._kernel(x_star, self._x)
+        mean_n = k_star @ self._alpha
+        v = cho_solve(self._chol, k_star.T)
+        var_n = self.signal_var - np.einsum("ij,ji->i", k_star, v)
+        var_n = np.maximum(var_n, 1e-12)
+        mean = mean_n * self._y_std + self._y_mean
+        std = np.sqrt(var_n) * self._y_std
+        return mean, std
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01) -> np.ndarray:
+    """EI for minimization: E[max(best - f - xi, 0)]."""
+    improve = best - mean - xi
+    z = improve / np.maximum(std, 1e-12)
+    return improve * _norm_cdf(z) + std * _norm_pdf(z)
+
+
+class BayesianSearch(Strategy):
+    """GP-EI Bayesian optimization.
+
+    The first ``n_init`` asks are random; afterwards each ask fits the GP
+    to all finished trials and proposes the EI-argmax over
+    ``n_candidates`` random points.
+    """
+
+    name = "bayesian"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        default_budget: int = 1,
+        n_init: int = 8,
+        n_candidates: int = 512,
+        length_scale: float = 0.25,
+        max_observations: int = 400,
+    ) -> None:
+        super().__init__(space, seed, default_budget)
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2")
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.length_scale = length_scale
+        self.max_observations = max_observations  # GP is O(n^3): cap it
+        self._obs_x: List[np.ndarray] = []
+        self._obs_y: List[float] = []
+
+    def ask(self) -> Suggestion:
+        if len(self._obs_y) < self.n_init:
+            return Suggestion(self.space.sample(self.rng), budget=self.default_budget)
+        x = np.array(self._obs_x[-self.max_observations:])
+        y = np.array(self._obs_y[-self.max_observations:])
+        gp = GaussianProcess(length_scale=self.length_scale).fit(x, y)
+        candidates = self.rng.random((self.n_candidates, len(self.space)))
+        mean, std = gp.predict(candidates)
+        ei = expected_improvement(mean, std, best=float(y.min()))
+        best_u = candidates[int(np.argmax(ei))]
+        return Suggestion(self.space.from_unit(best_u), budget=self.default_budget)
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        super().tell(suggestion, value)
+        if not np.isfinite(value):
+            return
+        self._obs_x.append(self.space.to_unit(suggestion.config))
+        self._obs_y.append(float(value))

@@ -1,0 +1,82 @@
+"""Evolutionary (genetic-algorithm) search in the unit hypercube."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..space import Config, SearchSpace
+from .base import Strategy, Suggestion
+
+
+class EvolutionarySearch(Strategy):
+    """Steady-state GA: tournament-select two parents from the evaluated
+    population, uniform-crossover their unit-space coordinates, Gaussian-
+    mutate, decode.  The first ``population_size`` asks are random seeds.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        default_budget: int = 1,
+        population_size: int = 20,
+        tournament: int = 3,
+        mutation_sigma: float = 0.15,
+        mutation_prob: float = 0.3,
+    ) -> None:
+        super().__init__(space, seed, default_budget)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        if mutation_sigma <= 0:
+            raise ValueError("mutation_sigma must be positive")
+        self.population_size = population_size
+        self.tournament = tournament
+        self.mutation_sigma = mutation_sigma
+        self.mutation_prob = mutation_prob
+        # Evaluated individuals: (value, unit vector).  Bounded at
+        # population_size by replacing the worst.
+        self._population: List[Tuple[float, np.ndarray]] = []
+        self._seeded = 0
+
+    def _select_parent(self) -> np.ndarray:
+        contenders = [
+            self._population[int(self.rng.integers(0, len(self._population)))]
+            for _ in range(min(self.tournament, len(self._population)))
+        ]
+        return min(contenders, key=lambda vu: vu[0])[1]
+
+    def ask(self) -> Suggestion:
+        if self._seeded < self.population_size or len(self._population) < 2:
+            self._seeded += 1
+            return Suggestion(self.space.sample(self.rng), budget=self.default_budget)
+        a, b = self._select_parent(), self._select_parent()
+        mask = self.rng.random(len(a)) < 0.5
+        child = np.where(mask, a, b)
+        mutate = self.rng.random(len(child)) < self.mutation_prob
+        child = child + mutate * self.rng.normal(0.0, self.mutation_sigma, size=len(child))
+        child = np.clip(child, 0.0, 1.0)
+        return Suggestion(self.space.from_unit(child), budget=self.default_budget)
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        super().tell(suggestion, value)
+        if not np.isfinite(value):
+            return
+        u = self.space.to_unit(suggestion.config)
+        if len(self._population) < self.population_size:
+            self._population.append((value, u))
+            return
+        worst_idx = max(range(len(self._population)), key=lambda i: self._population[i][0])
+        if value < self._population[worst_idx][0]:
+            self._population[worst_idx] = (value, u)
+
+    @property
+    def population_best(self) -> float:
+        if not self._population:
+            return float("inf")
+        return min(v for v, _ in self._population)

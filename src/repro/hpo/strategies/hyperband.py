@@ -1,0 +1,147 @@
+"""Multi-fidelity strategies: successive halving and Hyperband.
+
+Successive halving evaluates a cohort at a small budget, keeps the best
+1/eta fraction at eta-times the budget, and repeats.  Hyperband runs
+several halving brackets with different aggressiveness, hedging against
+unknown budget-sensitivity (Li et al., 2017 — contemporary with the
+keynote and exactly the "intelligent search" family it cites).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..space import Config, SearchSpace
+from .base import Strategy, Suggestion
+
+
+class _Rung:
+    """One fidelity level of a halving bracket."""
+
+    def __init__(self, budget: int, capacity: int) -> None:
+        self.budget = budget
+        self.capacity = capacity  # configs this rung will evaluate
+        self.results: List[Tuple[float, Config]] = []
+        self.launched = 0
+
+    def full(self) -> bool:
+        return self.launched >= self.capacity
+
+    def complete(self) -> bool:
+        return len(self.results) >= self.capacity
+
+
+class SuccessiveHalving(Strategy):
+    """One halving bracket, restarted indefinitely.
+
+    ``min_budget``/``max_budget`` are in epochs; ``eta`` is the keep
+    fraction (1/eta survive each rung).
+    """
+
+    name = "successive_halving"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        min_budget: int = 1,
+        max_budget: int = 27,
+        eta: int = 3,
+    ) -> None:
+        super().__init__(space, seed, default_budget=min_budget)
+        if min_budget < 1 or max_budget < min_budget:
+            raise ValueError("need 1 <= min_budget <= max_budget")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        self.min_budget = min_budget
+        self.max_budget = max_budget
+        self.eta = eta
+        self.n_rungs = int(math.floor(math.log(max_budget / min_budget, eta))) + 1
+        self._start_bracket()
+
+    def _start_bracket(self) -> None:
+        n0 = self.eta ** (self.n_rungs - 1)
+        self.rungs: List[_Rung] = []
+        for i in range(self.n_rungs):
+            budget = min(self.min_budget * self.eta ** i, self.max_budget)
+            capacity = max(n0 // self.eta ** i, 1)
+            self.rungs.append(_Rung(budget, capacity))
+        self._promote_queue: List[Config] = []
+
+    def ask(self) -> Optional[Suggestion]:
+        # Bottom rung: fresh random configs.
+        bottom = self.rungs[0]
+        if not bottom.full():
+            bottom.launched += 1
+            return Suggestion(self.space.sample(self.rng), budget=bottom.budget, tag=0)
+        # Higher rungs: launch promotions when the rung below is complete.
+        for i in range(1, self.n_rungs):
+            rung = self.rungs[i]
+            below = self.rungs[i - 1]
+            if rung.full() or not below.complete():
+                continue
+            survivors = sorted(below.results, key=lambda rc: rc[0])[: rung.capacity]
+            cfg = survivors[rung.launched][1]
+            rung.launched += 1
+            return Suggestion(cfg, budget=rung.budget, tag=i)
+        # All rungs full: restart a fresh bracket once the top completes.
+        if self.rungs[-1].complete():
+            self._start_bracket()
+            return self.ask()
+        return None  # waiting on outstanding evaluations
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        super().tell(suggestion, value)
+        rung_idx = suggestion.tag
+        if rung_idx is None or not 0 <= rung_idx < len(self.rungs):
+            return
+        self.rungs[rung_idx].results.append((value, suggestion.config))
+
+
+class Hyperband(Strategy):
+    """Hyperband: a rotation of successive-halving brackets with varying
+    initial cohort sizes."""
+
+    name = "hyperband"
+
+    def __init__(self, space: SearchSpace, seed: int = 0, max_budget: int = 27, eta: int = 3) -> None:
+        super().__init__(space, seed, default_budget=1)
+        if max_budget < 1:
+            raise ValueError("max_budget must be >= 1")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        self.max_budget = max_budget
+        self.eta = eta
+        self.s_max = int(math.floor(math.log(max_budget, eta)))
+        self._brackets: List[SuccessiveHalving] = []
+        self._build_brackets()
+        self._cursor = 0
+
+    def _build_brackets(self) -> None:
+        self._brackets = []
+        for s in range(self.s_max, -1, -1):
+            min_budget = max(1, int(round(self.max_budget / self.eta ** s)))
+            child_seed = int(self.rng.integers(2**31))
+            self._brackets.append(
+                SuccessiveHalving(
+                    self.space, seed=child_seed,
+                    min_budget=min_budget, max_budget=self.max_budget, eta=self.eta,
+                )
+            )
+
+    def ask(self) -> Optional[Suggestion]:
+        # Round-robin over brackets; tag suggestions with the bracket index.
+        for offset in range(len(self._brackets)):
+            idx = (self._cursor + offset) % len(self._brackets)
+            sug = self._brackets[idx].ask()
+            if sug is not None:
+                self._cursor = (idx + 1) % len(self._brackets)
+                return Suggestion(sug.config, sug.budget, tag=(idx, sug.tag))
+        return None
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        self.n_told += 1
+        bracket_idx, inner_tag = suggestion.tag
+        inner = Suggestion(suggestion.config, suggestion.budget, tag=inner_tag)
+        self._brackets[bracket_idx].tell(inner, value)

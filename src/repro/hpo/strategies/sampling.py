@@ -1,0 +1,181 @@
+"""Space-filling and schedule-based strategies: Latin hypercube sampling,
+median-stopping early termination, and population-based training.
+
+These round out the "intelligent searching strategies" family the keynote
+cites beyond the model-based ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..space import Config, SearchSpace
+from .base import Strategy, Suggestion
+
+
+class LatinHypercubeSearch(Strategy):
+    """Latin hypercube sampling in waves of ``wave_size``.
+
+    Each wave stratifies every dimension into ``wave_size`` equal bins and
+    places exactly one sample per bin per dimension (independently
+    permuted) — strictly better marginal coverage than i.i.d. random at
+    the same budget.
+    """
+
+    name = "lhs"
+
+    def __init__(self, space: SearchSpace, seed: int = 0, default_budget: int = 1, wave_size: int = 16) -> None:
+        super().__init__(space, seed, default_budget)
+        if wave_size < 2:
+            raise ValueError("wave_size must be >= 2")
+        self.wave_size = wave_size
+        self._wave: List[np.ndarray] = []
+
+    def _new_wave(self) -> None:
+        d = len(self.space)
+        n = self.wave_size
+        # One stratified coordinate per bin, per dimension, shuffled.
+        u = (np.arange(n)[:, None] + self.rng.random((n, d))) / n
+        for j in range(d):
+            self.rng.shuffle(u[:, j])
+        self._wave = [u[i] for i in range(n)]
+
+    def ask(self) -> Suggestion:
+        if not self._wave:
+            self._new_wave()
+        u = self._wave.pop()
+        return Suggestion(self.space.from_unit(u), budget=self.default_budget)
+
+
+class MedianStoppingWrapper(Strategy):
+    """Early-termination wrapper: evaluate at a probe budget first; only
+    configs whose probe result beats the running median get the full
+    budget (Google Vizier's median stopping rule, simplified to two rungs).
+
+    Wraps any inner strategy that proposes configurations.
+    """
+
+    name = "median_stopping"
+
+    def __init__(
+        self,
+        inner: Strategy,
+        probe_budget: int = 3,
+        full_budget: int = 27,
+        warmup: int = 5,
+    ) -> None:
+        super().__init__(inner.space, seed=0, default_budget=probe_budget)
+        if probe_budget < 1 or full_budget <= probe_budget:
+            raise ValueError("need 1 <= probe_budget < full_budget")
+        self.inner = inner
+        self.probe_budget = probe_budget
+        self.full_budget = full_budget
+        self.warmup = warmup
+        self._probe_values: List[float] = []
+        self._promote_queue: List[Config] = []
+        self.stopped_early = 0
+        self.promoted = 0
+
+    def ask(self) -> Optional[Suggestion]:
+        if self._promote_queue:
+            cfg = self._promote_queue.pop(0)
+            return Suggestion(cfg, budget=self.full_budget - self.probe_budget, tag="full")
+        sug = self.inner.ask()
+        if sug is None:
+            return None
+        return Suggestion(sug.config, budget=self.probe_budget, tag=("probe", sug))
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        self.n_told += 1
+        if isinstance(suggestion.tag, tuple) and suggestion.tag[0] == "probe":
+            inner_sug = suggestion.tag[1]
+            self.inner.tell(inner_sug, value)
+            if np.isfinite(value):
+                median = float(np.median(self._probe_values)) if self._probe_values else np.inf
+                self._probe_values.append(value)
+                if len(self._probe_values) <= self.warmup or value <= median:
+                    self._promote_queue.append(suggestion.config)
+                    self.promoted += 1
+                else:
+                    self.stopped_early += 1
+
+    def exhausted(self) -> bool:
+        return self.inner.exhausted() and not self._promote_queue
+
+
+class PopulationBasedTraining(Strategy):
+    """PBT over continuation-style objectives.
+
+    Population members are (config, cumulative budget, last value).  Each
+    ask continues one member for ``step_budget`` more epochs; after every
+    member has a value, the bottom ``truncation`` fraction copies a top
+    member's config with multiplicative perturbation (exploit + explore).
+
+    Against an objective where ``value(config, budget)`` improves with
+    cumulative budget (like :class:`~repro.hpo.objectives.SurrogateLandscape`),
+    this mirrors real PBT's behaviour without checkpoint plumbing: the
+    budget passed to the objective is the member's *cumulative* budget.
+    """
+
+    name = "pbt"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        population_size: int = 8,
+        step_budget: int = 3,
+        truncation: float = 0.25,
+        perturb: float = 0.2,
+    ) -> None:
+        super().__init__(space, seed, default_budget=step_budget)
+        if population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if not 0 < truncation < 0.5:
+            raise ValueError("truncation must be in (0, 0.5)")
+        self.population_size = population_size
+        self.step_budget = step_budget
+        self.truncation = truncation
+        self.perturb = perturb
+        # member -> [config, cumulative_budget, value or None]
+        self._members: List[List] = [
+            [self.space.sample(self.rng), 0, None] for _ in range(population_size)
+        ]
+        self._cursor = 0
+
+    def _exploit_explore(self) -> None:
+        scored = [(m[2], i) for i, m in enumerate(self._members) if m[2] is not None and np.isfinite(m[2])]
+        if len(scored) < self.population_size:
+            return
+        scored.sort()
+        k = max(1, int(self.population_size * self.truncation))
+        top = [i for _, i in scored[:k]]
+        bottom = [i for _, i in scored[-k:]]
+        for b in bottom:
+            src = self._members[int(self.rng.choice(top))]
+            u = self.space.to_unit(src[0])
+            u = np.clip(u + self.perturb * self.rng.standard_normal(len(u)), 0.0, 1.0)
+            # Exploit: copy budget (weights, in real PBT); explore: perturb config.
+            self._members[b] = [self.space.from_unit(u), src[1], None]
+
+    def ask(self) -> Suggestion:
+        member = self._members[self._cursor % self.population_size]
+        idx = self._cursor % self.population_size
+        self._cursor += 1
+        member[1] += self.step_budget
+        return Suggestion(member[0], budget=member[1], tag=idx)
+
+    def tell(self, suggestion: Suggestion, value: float) -> None:
+        super().tell(suggestion, value)
+        idx = suggestion.tag
+        if idx is not None and 0 <= idx < self.population_size:
+            self._members[idx][2] = value
+        if self._cursor % self.population_size == 0:
+            self._exploit_explore()
+
+    @property
+    def best_member_value(self) -> float:
+        vals = [m[2] for m in self._members if m[2] is not None and np.isfinite(m[2])]
+        return min(vals) if vals else float("inf")

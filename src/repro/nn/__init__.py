@@ -1,0 +1,61 @@
+"""From-scratch NumPy deep-learning framework.
+
+The substrate every CANDLE-style benchmark in :mod:`repro.candle` runs on:
+reverse-mode autograd (:mod:`repro.nn.tensor`), differentiable ops
+(:mod:`repro.nn.functional`), Keras-style layers and models, optimizers,
+schedules, losses and metrics.
+"""
+
+from . import functional
+from . import init
+from . import losses
+from . import metrics
+from . import optim
+from . import schedules
+from . import serialization
+from .serialization import load_checkpoint, load_weights, save_checkpoint, save_weights
+from .dataloader import DataLoader, shard, train_val_split
+from .layers import (
+    Activation,
+    AvgPool1D,
+    BatchNorm,
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    LayerNorm,
+    MaxPool1D,
+    MaxPool2D,
+)
+from .model import History, Model, Sequential
+from .gradcheck import gradient_check, numerical_gradient
+from .recurrent import GRU, LSTM, SimpleRNN
+from .optim import SGD, AdaGrad, Adam, Optimizer, RMSProp
+from .schedules import (
+    Constant,
+    CosineAnnealing,
+    ExponentialDecay,
+    ScheduledOptimizer,
+    StepDecay,
+    WarmupCosine,
+)
+from .tensor import Tensor, concatenate, no_grad, ones, stack, tensor, zeros
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "concatenate", "stack", "no_grad",
+    "functional", "init", "losses", "metrics", "optim", "schedules",
+    "Layer", "Dense", "Activation", "Dropout", "BatchNorm", "LayerNorm",
+    "Conv1D", "MaxPool1D", "AvgPool1D", "Flatten", "Embedding",
+    "Conv2D", "MaxPool2D", "GlobalAvgPool2D", "SimpleRNN", "GRU", "LSTM",
+    "gradient_check", "numerical_gradient",
+    "Model", "Sequential", "History",
+    "Optimizer", "SGD", "Adam", "RMSProp", "AdaGrad",
+    "Constant", "StepDecay", "ExponentialDecay", "CosineAnnealing",
+    "WarmupCosine", "ScheduledOptimizer",
+    "DataLoader", "shard", "train_val_split",
+    "serialization", "save_weights", "load_weights", "save_checkpoint", "load_checkpoint",
+]

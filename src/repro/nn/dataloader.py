@@ -1,0 +1,101 @@
+"""Mini-batch iteration over in-memory arrays.
+
+The loader models the per-node data pipeline the keynote describes: each
+"node" holds (or stages, see :mod:`repro.hpc.storage`) its shard of the
+training set and iterates shuffled mini-batches from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate (x_batch, y_batch) pairs with optional shuffling.
+
+    Parameters
+    ----------
+    x, y:
+        Arrays whose first axis is the sample axis.  ``y`` may be None for
+        unsupervised workloads (the P1B1 autoencoder).
+    batch_size:
+        Mini-batch size; the last batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle indices at the start of every epoch.
+    rng:
+        Generator used for shuffling (reproducible pipelines).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.x = np.asarray(x)
+        self.y = None if y is None else np.asarray(y)
+        if self.y is not None and len(self.x) != len(self.y):
+            raise ValueError(f"x and y length mismatch: {len(self.x)} vs {len(self.y)}")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.x)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        n = len(self.x)
+        idx = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            batch_idx = idx[start : start + self.batch_size]
+            xb = self.x[batch_idx]
+            yb = None if self.y is None else self.y[batch_idx]
+            yield xb, yb
+
+
+def shard(x: np.ndarray, y: Optional[np.ndarray], rank: int, world: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Contiguous shard of a dataset for data-parallel rank ``rank`` of
+    ``world`` — mirrors how CANDLE distributes training data per node."""
+    if not 0 <= rank < world:
+        raise ValueError(f"rank {rank} out of range for world size {world}")
+    n = len(x)
+    per = n // world
+    lo = rank * per
+    hi = n if rank == world - 1 else lo + per
+    return x[lo:hi], (None if y is None else y[lo:hi])
+
+
+def train_val_split(
+    x: np.ndarray,
+    y: Optional[np.ndarray],
+    val_frac: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Shuffled train/validation split; returns (x_tr, y_tr, x_va, y_va)."""
+    if not 0.0 < val_frac < 1.0:
+        raise ValueError("val_frac must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n = len(x)
+    idx = rng.permutation(n)
+    n_val = max(1, int(round(n * val_frac)))
+    val_idx, tr_idx = idx[:n_val], idx[n_val:]
+    y_tr = None if y is None else y[tr_idx]
+    y_va = None if y is None else y[val_idx]
+    return x[tr_idx], y_tr, x[val_idx], y_va

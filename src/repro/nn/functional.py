@@ -1,0 +1,588 @@
+"""Differentiable functional ops built on :class:`repro.nn.tensor.Tensor`.
+
+Everything here is vectorized NumPy: convolutions use an im2col
+(stride-tricks) lowering so the inner loop is a single GEMM, softmax and
+log-softmax use the log-sum-exp trick, and backward closures avoid
+re-computing forward quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, unbroadcast
+
+
+# ----------------------------------------------------------------------
+# Elementwise
+# ----------------------------------------------------------------------
+def exp(x: Tensor) -> Tensor:
+    out = np.exp(x.data)
+
+    def backward(g: np.ndarray):
+        return (g * out,)
+
+    return x._unary_out(out, backward)
+
+
+def log(x: Tensor) -> Tensor:
+    data = np.log(x.data)
+    xd = x.data
+
+    def backward(g: np.ndarray):
+        return (g / xd,)
+
+    return x._unary_out(data, backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+
+    def backward(g: np.ndarray):
+        return (g * (1.0 - out * out),)
+
+    return x._unary_out(out, backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    # Numerically stable piecewise formulation (expit identity).
+    xd = x.data
+    out = np.empty_like(xd, dtype=np.result_type(xd.dtype, np.float32))
+    pos = xd >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-xd[pos]))
+    e = np.exp(xd[~pos])
+    out[~pos] = e / (1.0 + e)
+    out = out.astype(xd.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        return (g * out * (1.0 - out),)
+
+    return x._unary_out(out, backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    data = np.where(mask, x.data, 0.0).astype(x.data.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        return (g * mask,)
+
+    return x._unary_out(data, backward)
+
+
+def leaky_relu(x: Tensor, alpha: float = 0.01) -> Tensor:
+    mask = x.data > 0
+    data = np.where(mask, x.data, alpha * x.data).astype(x.data.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        return (g * np.where(mask, 1.0, alpha).astype(g.dtype),)
+
+    return x._unary_out(data, backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    mask = x.data > 0
+    expm1 = np.expm1(np.minimum(x.data, 0.0))
+    data = np.where(mask, x.data, alpha * expm1).astype(x.data.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        return (g * np.where(mask, 1.0, alpha * (expm1 + 1.0)).astype(g.dtype),)
+
+    return x._unary_out(data, backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh approximation of GELU (Hendrycks & Gimpel)."""
+    xd = x.data
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (xd + 0.044715 * xd ** 3)
+    t = np.tanh(inner)
+    data = 0.5 * xd * (1.0 + t)
+
+    def backward(g: np.ndarray):
+        dinner = c * (1.0 + 3 * 0.044715 * xd ** 2)
+        dt = (1.0 - t * t) * dinner
+        return (g * (0.5 * (1.0 + t) + 0.5 * xd * dt),)
+
+    return x._unary_out(data.astype(xd.dtype, copy=False), backward)
+
+
+def softplus(x: Tensor) -> Tensor:
+    xd = x.data
+    data = np.logaddexp(0.0, xd).astype(xd.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        s = np.empty_like(xd)
+        pos = xd >= 0
+        s[pos] = 1.0 / (1.0 + np.exp(-xd[pos]))
+        e = np.exp(xd[~pos])
+        s[~pos] = e / (1.0 + e)
+        return (g * s,)
+
+    return x._unary_out(data, backward)
+
+
+def abs(x: Tensor) -> Tensor:  # noqa: A001 - mirrors np.abs
+    sign = np.sign(x.data)
+    data = np.abs(x.data)
+
+    def backward(g: np.ndarray):
+        return (g * sign,)
+
+    return x._unary_out(data, backward)
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    mask = (x.data >= lo) & (x.data <= hi)
+    data = np.clip(x.data, lo, hi)
+
+    def backward(g: np.ndarray):
+        return (g * mask,)
+
+    return x._unary_out(data, backward)
+
+
+def where(cond: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select; ``cond`` is a boolean array (non-diff)."""
+    cond = np.asarray(cond, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            unbroadcast(np.where(cond, g, 0.0), a.shape),
+            unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    req = a.requires_grad or b.requires_grad
+    return Tensor(data, requires_grad=req, parents=(a, b), backward_fn=backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    xd = x.data
+    m = xd.max(axis=axis, keepdims=True)
+    shifted = xd - m
+    s = np.exp(shifted).sum(axis=axis, keepdims=True)
+    out_keep = m + np.log(s)
+    data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
+    softmax_vals = np.exp(shifted) / s
+
+    def backward(g: np.ndarray):
+        g_exp = g if keepdims else np.expand_dims(g, axis)
+        return (g_exp * softmax_vals,)
+
+    return x._unary_out(data, backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    xd = x.data
+    shifted = xd - xd.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return x._unary_out(out, backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    xd = x.data
+    shifted = xd - xd.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    sm = np.exp(data)
+
+    def backward(g: np.ndarray):
+        return (g - sm * g.sum(axis=axis, keepdims=True),)
+
+    return x._unary_out(data, backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra helpers
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight + bias`` with weight of shape (in, out)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales at train time so eval is identity."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    data = x.data * mask
+
+    def backward(g: np.ndarray):
+        return (g * mask,)
+
+    return x._unary_out(data, backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup: out[i] = weight[indices[i]]."""
+    indices = np.asarray(indices)
+    data = weight.data[indices]
+    vocab, dim = weight.shape
+
+    def backward(g: np.ndarray):
+        grad = np.zeros((vocab, dim), dtype=g.dtype)
+        np.add.at(grad, indices.reshape(-1), g.reshape(-1, dim))
+        return (grad,)
+
+    return weight._unary_out(data, backward)
+
+
+# ----------------------------------------------------------------------
+# 1-D convolution via im2col (the CANDLE NT3 workload is Conv1D-heavy)
+# ----------------------------------------------------------------------
+def _im2col_1d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """(N, C, L) -> (N, L_out, C*kernel) view-based patch matrix."""
+    n, c, length = x.shape
+    l_out = (length - kernel) // stride + 1
+    s_n, s_c, s_l = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, l_out, c, kernel),
+        strides=(s_n, s_l * stride, s_c, s_l),
+        writeable=False,
+    )
+    return patches.reshape(n, l_out, c * kernel)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1-D convolution.
+
+    Shapes: x (N, C_in, L), weight (C_out, C_in, K), bias (C_out,).
+    Returns (N, C_out, L_out) with L_out = (L + 2*padding - K)//stride + 1.
+    """
+    xd = x.data
+    if padding > 0:
+        xd_pad = np.pad(xd, ((0, 0), (0, 0), (padding, padding)))
+    else:
+        xd_pad = xd
+    n, c_in, length = xd_pad.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv1d channel mismatch: input {c_in} vs weight {c_in_w}")
+    l_out = (length - k) // stride + 1
+    if l_out <= 0:
+        raise ValueError(f"conv1d output length {l_out} <= 0 (L={length}, K={k})")
+
+    cols = _im2col_1d(xd_pad, k, stride)  # (N, L_out, C_in*K)
+    w2 = weight.data.reshape(c_out, c_in * k)  # (C_out, C_in*K)
+    out = cols @ w2.T  # (N, L_out, C_out)
+    out = out.transpose(0, 2, 1)  # (N, C_out, L_out)
+    if bias is not None:
+        out = out + bias.data[None, :, None]
+
+    x_shape = x.shape
+    cols_saved = cols
+
+    def backward(g: np.ndarray):
+        # g: (N, C_out, L_out)
+        g_t = g.transpose(0, 2, 1)  # (N, L_out, C_out)
+        grad_w = np.tensordot(g_t, cols_saved, axes=([0, 1], [0, 1]))  # (C_out, C_in*K)
+        grad_w = grad_w.reshape(c_out, c_in, k)
+        grad_cols = g_t @ w2  # (N, L_out, C_in*K)
+        grad_cols = grad_cols.reshape(n, l_out, c_in, k)
+        grad_x_pad = np.zeros((n, c_in, length), dtype=g.dtype)
+        # Scatter-add each kernel tap back (K iterations, vectorized over N, L_out).
+        for kk in range(k):
+            idx = np.arange(l_out) * stride + kk
+            np.add.at(grad_x_pad, (slice(None), slice(None), idx), grad_cols[:, :, :, kk].transpose(0, 2, 1))
+        grad_x = grad_x_pad[:, :, padding: length - padding] if padding > 0 else grad_x_pad
+        grad_b = g.sum(axis=(0, 2)) if bias is not None else None
+        return (grad_x.reshape(x_shape), grad_w, grad_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    req = any(p.requires_grad for p in parents)
+    return Tensor(out, requires_grad=req, parents=parents, backward_fn=backward)
+
+
+def maxpool1d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over the last axis of (N, C, L)."""
+    stride = stride or pool
+    xd = x.data
+    n, c, length = xd.shape
+    l_out = (length - pool) // stride + 1
+    s_n, s_c, s_l = xd.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xd,
+        shape=(n, c, l_out, pool),
+        strides=(s_n, s_c, s_l * stride, s_l),
+        writeable=False,
+    )
+    out = windows.max(axis=3)
+    arg = windows.argmax(axis=3)  # (N, C, L_out)
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(xd)
+        pos = arg + np.arange(l_out)[None, None, :] * stride  # absolute index into L
+        nn_idx, cc_idx = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+        nn_idx = np.repeat(nn_idx[:, :, None], l_out, axis=2)
+        cc_idx = np.repeat(cc_idx[:, :, None], l_out, axis=2)
+        np.add.at(grad, (nn_idx, cc_idx, pos), g)
+        return (grad,)
+
+    return x._unary_out(out, backward)
+
+
+def avgpool1d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over the last axis of (N, C, L)."""
+    stride = stride or pool
+    xd = x.data
+    n, c, length = xd.shape
+    l_out = (length - pool) // stride + 1
+    s_n, s_c, s_l = xd.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xd,
+        shape=(n, c, l_out, pool),
+        strides=(s_n, s_c, s_l * stride, s_l),
+        writeable=False,
+    )
+    out = windows.mean(axis=3)
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(xd)
+        share = g / pool
+        for kk in range(pool):
+            idx = np.arange(l_out) * stride + kk
+            np.add.at(grad, (slice(None), slice(None), idx), share)
+        return (grad,)
+
+    return x._unary_out(out, backward)
+
+
+def global_avgpool1d(x: Tensor) -> Tensor:
+    """Mean over the length axis of (N, C, L) -> (N, C)."""
+    return x.mean(axis=2)
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+    training: bool = True,
+    axis: Tuple[int, ...] = (0,),
+) -> Tensor:
+    """Batch normalization over ``axis`` (the reduction axes).
+
+    For (N, F) inputs use axis=(0,); for (N, C, L) use axis=(0, 2).
+    Running stats are updated in place when training.
+    """
+    xd = x.data
+    if training:
+        mean = xd.mean(axis=axis, keepdims=True)
+        var = xd.var(axis=axis, keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.squeeze()
+        running_var *= 1.0 - momentum
+        running_var += momentum * var.squeeze()
+    else:
+        shape = [1] * xd.ndim
+        feat_axes = [i for i in range(xd.ndim) if i not in axis]
+        for i, a in enumerate(feat_axes):
+            shape[a] = -1 if i == 0 else shape[a]
+        # Reshape running stats to broadcast against x.
+        bshape = [1] * xd.ndim
+        for a in range(xd.ndim):
+            if a not in axis:
+                bshape[a] = xd.shape[a]
+        mean = running_mean.reshape(bshape)
+        var = running_var.reshape(bshape)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean) * inv_std
+
+    bshape = [1] * xd.ndim
+    for a in range(xd.ndim):
+        if a not in axis:
+            bshape[a] = xd.shape[a]
+    gamma_b = gamma.data.reshape(bshape)
+    out = x_hat * gamma_b + beta.data.reshape(bshape)
+
+    m = 1
+    for a in axis:
+        m *= xd.shape[a]
+
+    def backward(g: np.ndarray):
+        grad_beta = g.sum(axis=axis).reshape(beta.shape)
+        grad_gamma = (g * x_hat).sum(axis=axis).reshape(gamma.shape)
+        if training:
+            gxh = g * gamma_b
+            grad_x = (
+                inv_std
+                / m
+                * (m * gxh - gxh.sum(axis=axis, keepdims=True) - x_hat * (gxh * x_hat).sum(axis=axis, keepdims=True))
+            )
+        else:
+            grad_x = g * gamma_b * inv_std
+        return (grad_x, grad_gamma, grad_beta)
+
+    req = x.requires_grad or gamma.requires_grad or beta.requires_grad
+    return Tensor(out, requires_grad=req, parents=(x, gamma, beta), backward_fn=backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis."""
+    xd = x.data
+    mean = xd.mean(axis=-1, keepdims=True)
+    var = xd.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean) * inv_std
+    out = x_hat * gamma.data + beta.data
+    d = xd.shape[-1]
+
+    def backward(g: np.ndarray):
+        grad_beta = unbroadcast(g, beta.shape)
+        grad_gamma = unbroadcast(g * x_hat, gamma.shape)
+        gxh = g * gamma.data
+        grad_x = (
+            inv_std
+            / d
+            * (d * gxh - gxh.sum(axis=-1, keepdims=True) - x_hat * (gxh * x_hat).sum(axis=-1, keepdims=True))
+        )
+        return (grad_x, grad_gamma, grad_beta)
+
+    req = x.requires_grad or gamma.requires_grad or beta.requires_grad
+    return Tensor(out, requires_grad=req, parents=(x, gamma, beta), backward_fn=backward)
+
+
+# ----------------------------------------------------------------------
+# 2-D convolution (tumor-imaging workloads) via im2col
+# ----------------------------------------------------------------------
+def _im2col_2d(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, H_out, W_out, C*kh*kw) strided patch matrix."""
+    n, c, h, w = x.shape
+    h_out = (h - kh) // stride + 1
+    w_out = (w - kw) // stride + 1
+    s_n, s_c, s_h, s_w = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, h_out, w_out, c, kh, kw),
+        strides=(s_n, s_h * stride, s_w * stride, s_c, s_h, s_w),
+        writeable=False,
+    )
+    return patches.reshape(n, h_out, w_out, c * kh * kw)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution.
+
+    Shapes: x (N, C_in, H, W), weight (C_out, C_in, KH, KW), bias (C_out,).
+    Returns (N, C_out, H_out, W_out).
+    """
+    xd = x.data
+    if padding > 0:
+        xd_pad = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        xd_pad = xd
+    n, c_in, h, w = xd_pad.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input {c_in} vs weight {c_in_w}")
+    h_out = (h - kh) // stride + 1
+    w_out = (w - kw) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError(f"conv2d output {h_out}x{w_out} <= 0 (input {h}x{w}, kernel {kh}x{kw})")
+
+    cols = _im2col_2d(xd_pad, kh, kw, stride)  # (N, Ho, Wo, C*kh*kw)
+    w2 = weight.data.reshape(c_out, c_in * kh * kw)
+    out = cols @ w2.T  # (N, Ho, Wo, C_out)
+    out = out.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data[None, :, None, None]
+
+    x_shape = x.shape
+    cols_saved = cols
+
+    def backward(g: np.ndarray):
+        g_t = g.transpose(0, 2, 3, 1)  # (N, Ho, Wo, C_out)
+        grad_w = np.tensordot(g_t, cols_saved, axes=([0, 1, 2], [0, 1, 2]))
+        grad_w = grad_w.reshape(c_out, c_in, kh, kw)
+        grad_cols = g_t @ w2  # (N, Ho, Wo, C*kh*kw)
+        grad_cols = grad_cols.reshape(n, h_out, w_out, c_in, kh, kw)
+        grad_x_pad = np.zeros((n, c_in, h, w), dtype=g.dtype)
+        # Scatter-add per kernel tap (kh*kw iterations, vectorized elsewhere).
+        hi = np.arange(h_out) * stride
+        wi = np.arange(w_out) * stride
+        for dh in range(kh):
+            for dw in range(kw):
+                grad_x_pad[:, :, hi[:, None] + dh, wi[None, :] + dw] += grad_cols[
+                    :, :, :, :, dh, dw
+                ].transpose(0, 3, 1, 2)
+        if padding > 0:
+            grad_x = grad_x_pad[:, :, padding : h - padding, padding : w - padding]
+        else:
+            grad_x = grad_x_pad
+        grad_b = g.sum(axis=(0, 2, 3)) if bias is not None else None
+        return (grad_x.reshape(x_shape), grad_w, grad_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    req = any(p.requires_grad for p in parents)
+    return Tensor(out, requires_grad=req, parents=parents, backward_fn=backward)
+
+
+def maxpool2d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over the last two axes of (N, C, H, W)."""
+    stride = stride or pool
+    xd = x.data
+    n, c, h, w = xd.shape
+    h_out = (h - pool) // stride + 1
+    w_out = (w - pool) // stride + 1
+    s_n, s_c, s_h, s_w = xd.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xd,
+        shape=(n, c, h_out, w_out, pool, pool),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, h_out, w_out, pool * pool)
+    out = flat.max(axis=4)
+    arg = flat.argmax(axis=4)  # flat index within the window
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(xd)
+        dh, dw = np.divmod(arg, pool)
+        hh = dh + np.arange(h_out)[None, None, :, None] * stride
+        ww = dw + np.arange(w_out)[None, None, None, :] * stride
+        nn_idx = np.arange(n)[:, None, None, None]
+        cc_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad, (np.broadcast_to(nn_idx, arg.shape), np.broadcast_to(cc_idx, arg.shape), hh, ww), g)
+        return (grad,)
+
+    return x._unary_out(out, backward)
+
+
+def global_avgpool2d(x: Tensor) -> Tensor:
+    """Mean over (H, W) of (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))

@@ -1,0 +1,53 @@
+"""Numerical gradient verification, exported for downstream users.
+
+Any custom layer or loss built on :mod:`repro.nn` can be validated with
+:func:`gradient_check` before it goes anywhere near a training run — the
+same machinery the library's own test suite uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64).copy()
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def gradient_check(
+    op: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> Tuple[bool, float]:
+    """Compare autograd of ``op(x).sum()`` against finite differences.
+
+    Returns (passed, max absolute error).  ``op`` must be differentiable
+    at ``x`` (keep inputs away from kinks like relu(0)).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    op(t).sum().backward()
+    analytic = t.grad
+
+    numeric = numerical_gradient(lambda arr: float(op(Tensor(arr)).sum().item()), x, eps=eps)
+    err = float(np.max(np.abs(analytic - numeric)))
+    tol = atol + rtol * float(np.max(np.abs(numeric)) if numeric.size else 0.0)
+    return err <= tol, err

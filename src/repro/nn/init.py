@@ -1,0 +1,85 @@
+"""Weight initializers.
+
+Every initializer takes an ``np.random.Generator`` so model construction is
+fully reproducible from a single seed (see :mod:`repro.utils.rng`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) following the Keras convention.
+
+    Dense (in, out): fan_in=in, fan_out=out.
+    Conv1D (out_ch, in_ch, k): fan_in=in_ch*k, fan_out=out_ch*k.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 3:
+        receptive = shape[2]
+        return shape[1] * receptive, shape[0] * receptive
+    n = int(np.prod(shape))
+    return n, n
+
+
+def glorot_uniform(shape, rng: np.random.Generator, dtype=np.float64) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(tuple(shape))
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def glorot_normal(shape, rng: np.random.Generator, dtype=np.float64) -> np.ndarray:
+    fan_in, fan_out = _fans(tuple(shape))
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def he_uniform(shape, rng: np.random.Generator, dtype=np.float64) -> np.ndarray:
+    """He uniform, the right choice ahead of ReLU nonlinearities."""
+    fan_in, _ = _fans(tuple(shape))
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def he_normal(shape, rng: np.random.Generator, dtype=np.float64) -> np.ndarray:
+    fan_in, _ = _fans(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def lecun_normal(shape, rng: np.random.Generator, dtype=np.float64) -> np.ndarray:
+    fan_in, _ = _fans(tuple(shape))
+    std = np.sqrt(1.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def zeros(shape, rng: np.random.Generator = None, dtype=np.float64) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape, rng: np.random.Generator = None, dtype=np.float64) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "lecun_normal": lecun_normal,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}")

@@ -1,0 +1,167 @@
+"""Evaluation metrics (pure NumPy; never differentiable)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def accuracy(logits_or_probs: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy; labels are integer ids or one-hot."""
+    labels = np.asarray(labels)
+    if labels.ndim == 2:
+        labels = labels.argmax(axis=-1)
+    preds = np.asarray(logits_or_probs).argmax(axis=-1)
+    return float((preds == labels).mean())
+
+
+def balanced_accuracy(logits_or_probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean per-class recall — robust to class imbalance (tumor typing)."""
+    labels = np.asarray(labels)
+    if labels.ndim == 2:
+        labels = labels.argmax(axis=-1)
+    preds = np.asarray(logits_or_probs).argmax(axis=-1)
+    recalls = []
+    for cls in np.unique(labels):
+        mask = labels == cls
+        recalls.append(float((preds[mask] == cls).mean()))
+    return float(np.mean(recalls))
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination."""
+    pred = np.asarray(pred).ravel()
+    target = np.asarray(target).ravel()
+    ss_res = float(((pred - target) ** 2).sum())
+    ss_tot = float(((target - target.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred).ravel()
+    target = np.asarray(target).ravel()
+    return float(np.sqrt(((pred - target) ** 2).mean()))
+
+
+def mae_score(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred).ravel()
+    target = np.asarray(target).ravel()
+    return float(np.abs(pred - target).mean())
+
+
+def pearson_r(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred).ravel()
+    target = np.asarray(target).ravel()
+    pc = pred - pred.mean()
+    tc = target - target.mean()
+    denom = np.sqrt((pc ** 2).sum() * (tc ** 2).sum())
+    if denom == 0:
+        return 0.0
+    return float((pc * tc).sum() / denom)
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Binary AUC via the rank statistic (handles ties by midranks)."""
+    scores = np.asarray(scores).ravel()
+    labels = np.asarray(labels).ravel().astype(bool)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Midranks for ties.
+    i = 0
+    rank = 1
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        mid = 0.5 * (rank + rank + (j - i))
+        ranks[order[i : j + 1]] = mid
+        rank += j - i + 1
+        i = j + 1
+    sum_pos = ranks[labels].sum()
+    return float((sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def f1_score(preds: np.ndarray, labels: np.ndarray) -> float:
+    """Binary F1 on 0/1 predictions."""
+    preds = np.asarray(preds).ravel().astype(bool)
+    labels = np.asarray(labels).ravel().astype(bool)
+    tp = int((preds & labels).sum())
+    fp = int((preds & ~labels).sum())
+    fn = int((~preds & labels).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def confusion_matrix(preds: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """(n_classes, n_classes) count matrix, rows=true, cols=pred."""
+    preds = np.asarray(preds).ravel().astype(np.int64)
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (labels, preds), 1)
+    return cm
+
+
+METRICS = {
+    "accuracy": accuracy,
+    "balanced_accuracy": balanced_accuracy,
+    "r2": r2_score,
+    "rmse": rmse,
+    "mae": mae_score,
+    "pearson_r": pearson_r,
+    "roc_auc": roc_auc,
+}
+
+
+def get(name: str):
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(METRICS)}")
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation).
+
+    The imbalanced-screening companion to ROC AUC: sensitive to how many
+    of the *top-ranked* compounds are real hits.
+    """
+    scores = np.asarray(scores).ravel()
+    labels = np.asarray(labels).ravel().astype(bool)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise ValueError("average_precision requires at least one positive")
+    order = np.argsort(scores)[::-1]
+    hits = labels[order].astype(np.float64)
+    cum_hits = np.cumsum(hits)
+    precision = cum_hits / np.arange(1, len(hits) + 1)
+    return float((precision * hits).sum() / n_pos)
+
+
+def enrichment_factor(scores: np.ndarray, labels: np.ndarray, fraction: float = 0.01) -> float:
+    """Virtual-screening enrichment: hit rate in the top ``fraction`` of
+    ranked compounds divided by the overall hit rate (1.0 = no better
+    than random selection)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    scores = np.asarray(scores).ravel()
+    labels = np.asarray(labels).ravel().astype(bool)
+    base_rate = labels.mean()
+    if base_rate == 0:
+        raise ValueError("enrichment requires at least one positive")
+    k = max(1, int(round(len(scores) * fraction)))
+    top = np.argsort(scores)[::-1][:k]
+    return float(labels[top].mean() / base_rate)
+
+
+METRICS["average_precision"] = average_precision

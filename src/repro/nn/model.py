@@ -1,0 +1,263 @@
+"""Model containers and the training loop.
+
+:class:`Sequential` mirrors the Keras idiom the original CANDLE benchmark
+definitions use (stacked layers, deferred build, ``fit``/``evaluate``),
+while :class:`Model` is the escape hatch for custom topologies (multitask
+heads, VAEs).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import losses as losses_mod
+from . import metrics as metrics_mod
+from .dataloader import DataLoader, train_val_split
+from .layers import Layer
+from .optim import Adam, Optimizer
+from .tensor import Tensor, no_grad
+
+
+class History:
+    """Per-epoch training record returned by :meth:`Model.fit`."""
+
+    def __init__(self) -> None:
+        self.epochs: List[Dict[str, float]] = []
+
+    def append(self, **kwargs: float) -> None:
+        self.epochs.append(dict(kwargs))
+
+    def series(self, key: str) -> List[float]:
+        return [e[key] for e in self.epochs if key in e]
+
+    def best(self, key: str, mode: str = "min") -> float:
+        values = self.series(key)
+        if not values:
+            raise KeyError(f"no values recorded for {key!r}")
+        return min(values) if mode == "min" else max(values)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+class Model:
+    """Base class: override :meth:`forward`; parameters are discovered from
+    ``self.layers`` (a list) or by overriding :meth:`parameters`."""
+
+    def __init__(self) -> None:
+        self.layers: List[Layer] = []
+        self.built = False
+
+    # -- construction ---------------------------------------------------
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            if not layer.built:
+                layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self.built = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def param_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def get_weights(self) -> List[np.ndarray]:
+        return [p.data.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        params = list(self.parameters())
+        if len(params) != len(weights):
+            raise ValueError(f"weight count mismatch: model has {len(params)}, got {len(weights)}")
+        for p, w in zip(params, weights):
+            if p.data.shape != w.shape:
+                raise ValueError(f"shape mismatch for {p.name or 'param'}: {p.data.shape} vs {w.shape}")
+            p.data[...] = w
+
+    # -- forward ----------------------------------------------------------
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        out = x
+        for layer in self.layers:
+            out = layer(out, training=training)
+        return out
+
+    def __call__(self, x, training: bool = True) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x))
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched, grad-free forward pass."""
+        outs = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                xb = Tensor(np.asarray(x[start : start + batch_size]))
+                outs.append(self.forward(xb, training=False).data)
+        return np.concatenate(outs, axis=0)
+
+    # -- training ---------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: Optional[np.ndarray],
+        epochs: int = 10,
+        batch_size: int = 32,
+        loss: str | Callable = "mse",
+        optimizer: Optional[Optimizer] = None,
+        lr: float = 1e-3,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        validation_split: float = 0.0,
+        metrics: Sequence[str] = (),
+        seed: int = 0,
+        verbose: bool = False,
+        early_stopping_patience: Optional[int] = None,
+        clip_norm: Optional[float] = None,
+        step_hook: Optional[Callable[[int, float], None]] = None,
+        grad_accumulation: int = 1,
+    ) -> History:
+        """Train the model; returns a :class:`History`.
+
+        ``loss`` is a name from :mod:`repro.nn.losses` or a callable
+        ``(pred, target) -> scalar Tensor``.  For autoencoder-style models
+        pass ``y=None`` and the input batch is used as the target.
+
+        ``grad_accumulation > 1`` applies the optimizer only every k
+        mini-batches, averaging the k gradients first — the standard way
+        to train with an effective batch k times larger than fits in
+        memory (equivalent in expectation to a k-times-larger batch).
+        """
+        if grad_accumulation < 1:
+            raise ValueError("grad_accumulation must be >= 1")
+        rng = np.random.default_rng(seed)
+        x = np.asarray(x)
+        if validation_split > 0.0 and validation_data is None:
+            x, y, x_val, y_val = train_val_split(x, y, val_frac=validation_split, rng=rng)
+            validation_data = (x_val, y_val)
+
+        if not self.built:
+            self.build(x.shape[1:], rng)
+        loss_fn = losses_mod.get(loss) if isinstance(loss, str) else loss
+        opt = optimizer or Adam(self.parameters(), lr=lr)
+        metric_fns = {m: metrics_mod.get(m) for m in metrics}
+        loader = DataLoader(x, y, batch_size=batch_size, shuffle=True, rng=rng)
+
+        history = History()
+        best_val = np.inf
+        best_weights: Optional[List[np.ndarray]] = None
+        patience_left = early_stopping_patience
+
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            epoch_loss = 0.0
+            n_batches = 0
+            accum = 0
+            opt.zero_grad()
+            for xb, yb in loader:
+                xt = Tensor(xb)
+                target = xb if yb is None else yb
+                pred = self.forward(xt, training=True)
+                batch_loss = loss_fn(pred, target)
+                if grad_accumulation > 1:
+                    # Average (not sum) over the accumulation window.
+                    (batch_loss * (1.0 / grad_accumulation)).backward()
+                else:
+                    batch_loss.backward()
+                accum += 1
+                if accum >= grad_accumulation:
+                    if clip_norm is not None:
+                        opt.clip_grad_norm(clip_norm)
+                    opt.step()
+                    opt.zero_grad()
+                    accum = 0
+                epoch_loss += batch_loss.item()
+                n_batches += 1
+                if step_hook is not None:
+                    step_hook(getattr(opt, "step_count", n_batches), batch_loss.item())
+            if accum > 0:  # flush a trailing partial window
+                if clip_norm is not None:
+                    opt.clip_grad_norm(clip_norm)
+                opt.step()
+                opt.zero_grad()
+            record: Dict[str, float] = {
+                "loss": epoch_loss / max(n_batches, 1),
+                "time": time.perf_counter() - t0,
+            }
+
+            if validation_data is not None:
+                x_val, y_val = validation_data
+                val_metrics = self.evaluate(x_val, y_val, loss=loss_fn, metrics=metrics, batch_size=batch_size)
+                record.update({f"val_{k}": v for k, v in val_metrics.items()})
+                val_loss = record["val_loss"]
+                if early_stopping_patience is not None:
+                    if val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        best_weights = self.get_weights()
+                        patience_left = early_stopping_patience
+                    else:
+                        patience_left -= 1
+                        if patience_left <= 0:
+                            history.append(**record)
+                            break
+            history.append(**record)
+            if verbose:
+                parts = " ".join(f"{k}={v:.4g}" for k, v in record.items())
+                print(f"epoch {epoch + 1}/{epochs}: {parts}")
+
+        if best_weights is not None and early_stopping_patience is not None:
+            self.set_weights(best_weights)
+        return history
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: Optional[np.ndarray],
+        loss: str | Callable = "mse",
+        metrics: Sequence[str] = (),
+        batch_size: int = 256,
+    ) -> Dict[str, float]:
+        """Grad-free loss (+ metrics) over a dataset."""
+        loss_fn = losses_mod.get(loss) if isinstance(loss, str) else loss
+        total = 0.0
+        count = 0
+        preds = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                xb = np.asarray(x[start : start + batch_size])
+                target = xb if y is None else y[start : start + batch_size]
+                pred = self.forward(Tensor(xb), training=False)
+                total += loss_fn(pred, target).item() * len(xb)
+                count += len(xb)
+                preds.append(pred.data)
+        out = {"loss": total / max(count, 1)}
+        if metrics:
+            pred_all = np.concatenate(preds, axis=0)
+            target_all = x if y is None else y
+            for name in metrics:
+                out[name] = metrics_mod.get(name)(pred_all, np.asarray(target_all))
+        return out
+
+    def summary(self) -> str:
+        """Human-readable layer table."""
+        lines = [f"{type(self).__name__}: {self.param_count():,} parameters"]
+        for layer in self.layers:
+            lines.append(f"  {layer.name:<24} params={layer.param_count():,}")
+        return "\n".join(lines)
+
+
+class Sequential(Model):
+    """Keras-style linear stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer] = ()) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def add(self, layer: Layer) -> "Sequential":
+        if self.built:
+            raise RuntimeError("cannot add layers after the model is built")
+        self.layers.append(layer)
+        return self

@@ -1,0 +1,176 @@
+"""Optimizers.
+
+State (momentum buffers, Adam moments) lives in the optimizer, keyed by
+parameter identity, so the same parameter list can be re-optimized after a
+checkpoint restore.  All updates are in-place on ``param.data``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float, weight_decay: float = 0.0) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._update(p, grad)
+
+    def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def grad_norm(self) -> float:
+        """Global L2 norm of all gradients (diagnostics / clipping)."""
+        sq = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                sq += float(np.sum(p.grad.astype(np.float64) ** 2))
+        return float(np.sqrt(sq))
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale all grads so the global norm is at most ``max_norm``."""
+        norm = self.grad_norm()
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """SGD with optional (Nesterov) momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        if self.momentum:
+            v = self._velocity.get(id(p))
+            if v is None:
+                v = np.zeros_like(p.data)
+                self._velocity[id(p)] = v
+            v *= self.momentum
+            v += grad
+            step = grad + self.momentum * v if self.nesterov else v
+        else:
+            step = grad
+        p.data -= self.lr * step
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        m = self._m.setdefault(id(p), np.zeros_like(p.data))
+        v = self._v.setdefault(id(p), np.zeros_like(p.data))
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        t = self.step_count
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.rho, self.eps = rho, eps
+        self._sq: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        sq = self._sq.setdefault(id(p), np.zeros_like(p.data))
+        sq *= self.rho
+        sq += (1 - self.rho) * grad * grad
+        p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad — included for the HPO search-space experiments."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01, eps: float = 1e-10, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.eps = eps
+        self._acc: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        acc = self._acc.setdefault(id(p), np.zeros_like(p.data))
+        acc += grad * grad
+        p.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
+
+
+OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSProp,
+    "adagrad": AdaGrad,
+}
+
+
+def get(name: str):
+    try:
+        return OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}; choose from {sorted(OPTIMIZERS)}")

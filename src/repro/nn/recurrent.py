@@ -1,0 +1,241 @@
+"""Recurrent layers: SimpleRNN and GRU (backprop-through-time via the tape).
+
+The CANDLE pilot-3 family includes sequence models over clinical text
+(P3B2); these layers provide that capability.  Inputs are (N, T, F);
+the layer returns the final hidden state (N, H) or, with
+``return_sequences=True``, all states (N, T, H).
+
+The autograd tape unrolls naturally over time steps — no special BPTT
+machinery is needed (the engine's iterative topological sort handles the
+long chains).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init as initializers
+from .layers import Layer
+from .tensor import Tensor, concatenate, stack
+
+
+class SimpleRNN(Layer):
+    """Elman RNN: h_t = tanh(x_t @ Wx + h_{t-1} @ Wh + b)."""
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_init: str = "glorot_uniform",
+        name: Optional[str] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = units
+        self.return_sequences = return_sequences
+        self.kernel_init = kernel_init
+        self.dtype = dtype
+        self.wx: Optional[Tensor] = None
+        self.wh: Optional[Tensor] = None
+        self.bias: Optional[Tensor] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        # input_shape = (T, F)
+        if len(input_shape) != 2:
+            raise ValueError(f"recurrent layers need (T, F) features, got {input_shape}")
+        f = input_shape[-1]
+        init_fn = initializers.get(self.kernel_init)
+        self.wx = Tensor(init_fn((f, self.units), rng, dtype=self.dtype), requires_grad=True, name=f"{self.name}.Wx")
+        # Orthogonal-ish recurrent init: QR of a Gaussian.
+        q, _ = np.linalg.qr(rng.standard_normal((self.units, self.units)))
+        self.wh = Tensor(q.astype(self.dtype), requires_grad=True, name=f"{self.name}.Wh")
+        self.bias = Tensor(np.zeros(self.units, dtype=self.dtype), requires_grad=True, name=f"{self.name}.b")
+        self.built = True
+
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        n, t, _ = x.shape
+        h = Tensor(np.zeros((n, self.units), dtype=self.dtype))
+        states: List[Tensor] = []
+        for step in range(t):
+            xt = x[:, step, :]
+            h = F.tanh(xt @ self.wx + h @ self.wh + self.bias)
+            if self.return_sequences:
+                states.append(h)
+        if self.return_sequences:
+            return stack(states, axis=1)
+        return h
+
+    def parameters(self) -> Iterator[Tensor]:
+        yield self.wx
+        yield self.wh
+        yield self.bias
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        t, _ = input_shape
+        return (t, self.units) if self.return_sequences else (self.units,)
+
+
+class GRU(Layer):
+    """Gated recurrent unit (Cho et al. 2014).
+
+    z_t = sigmoid(x Wxz + h Whz + bz)         (update gate)
+    r_t = sigmoid(x Wxr + h Whr + br)         (reset gate)
+    n_t = tanh(x Wxn + (r * h) Whn + bn)      (candidate)
+    h_t = (1 - z) * n + z * h
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_init: str = "glorot_uniform",
+        name: Optional[str] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = units
+        self.return_sequences = return_sequences
+        self.kernel_init = kernel_init
+        self.dtype = dtype
+        self._params: List[Tensor] = []
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(f"recurrent layers need (T, F) features, got {input_shape}")
+        f = input_shape[-1]
+        u = self.units
+        init_fn = initializers.get(self.kernel_init)
+
+        def make(shape, label):
+            t = Tensor(init_fn(shape, rng, dtype=self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        def make_rec(label):
+            q, _ = np.linalg.qr(rng.standard_normal((u, u)))
+            t = Tensor(q.astype(self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        def make_bias(label):
+            t = Tensor(np.zeros(u, dtype=self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        self.wxz, self.whz, self.bz = make((f, u), "Wxz"), make_rec("Whz"), make_bias("bz")
+        self.wxr, self.whr, self.br = make((f, u), "Wxr"), make_rec("Whr"), make_bias("br")
+        self.wxn, self.whn, self.bn = make((f, u), "Wxn"), make_rec("Whn"), make_bias("bn")
+        self.built = True
+
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        n, t, _ = x.shape
+        h = Tensor(np.zeros((n, self.units), dtype=self.dtype))
+        states: List[Tensor] = []
+        for step in range(t):
+            xt = x[:, step, :]
+            z = F.sigmoid(xt @ self.wxz + h @ self.whz + self.bz)
+            r = F.sigmoid(xt @ self.wxr + h @ self.whr + self.br)
+            cand = F.tanh(xt @ self.wxn + (r * h) @ self.whn + self.bn)
+            h = (1.0 - z) * cand + z * h
+            if self.return_sequences:
+                states.append(h)
+        if self.return_sequences:
+            return stack(states, axis=1)
+        return h
+
+    def parameters(self) -> Iterator[Tensor]:
+        return iter(self._params)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        t, _ = input_shape
+        return (t, self.units) if self.return_sequences else (self.units,)
+
+
+class LSTM(Layer):
+    """Long short-term memory (Hochreiter & Schmidhuber).
+
+    i, f, o = sigmoid(x Wx* + h Wh* + b*);  g = tanh(x Wxg + h Whg + bg)
+    c_t = f * c + i * g;  h_t = o * tanh(c_t)
+
+    Forget-gate bias initialized to 1 (the standard trick that keeps the
+    cell state alive early in training).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        kernel_init: str = "glorot_uniform",
+        name: Optional[str] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = units
+        self.return_sequences = return_sequences
+        self.kernel_init = kernel_init
+        self.dtype = dtype
+        self._params: List[Tensor] = []
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(f"recurrent layers need (T, F) features, got {input_shape}")
+        f = input_shape[-1]
+        u = self.units
+        init_fn = initializers.get(self.kernel_init)
+
+        def make(shape, label):
+            t = Tensor(init_fn(shape, rng, dtype=self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        def make_rec(label):
+            q, _ = np.linalg.qr(rng.standard_normal((u, u)))
+            t = Tensor(q.astype(self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        def make_bias(label, value=0.0):
+            t = Tensor(np.full(u, value, dtype=self.dtype), requires_grad=True, name=f"{self.name}.{label}")
+            self._params.append(t)
+            return t
+
+        self.wxi, self.whi, self.bi = make((f, u), "Wxi"), make_rec("Whi"), make_bias("bi")
+        self.wxf, self.whf, self.bf = make((f, u), "Wxf"), make_rec("Whf"), make_bias("bf", 1.0)
+        self.wxo, self.who, self.bo = make((f, u), "Wxo"), make_rec("Who"), make_bias("bo")
+        self.wxg, self.whg, self.bg = make((f, u), "Wxg"), make_rec("Whg"), make_bias("bg")
+        self.built = True
+
+    def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        n, t, _ = x.shape
+        h = Tensor(np.zeros((n, self.units), dtype=self.dtype))
+        c = Tensor(np.zeros((n, self.units), dtype=self.dtype))
+        states: List[Tensor] = []
+        for step in range(t):
+            xt = x[:, step, :]
+            i = F.sigmoid(xt @ self.wxi + h @ self.whi + self.bi)
+            f_gate = F.sigmoid(xt @ self.wxf + h @ self.whf + self.bf)
+            o = F.sigmoid(xt @ self.wxo + h @ self.who + self.bo)
+            g = F.tanh(xt @ self.wxg + h @ self.whg + self.bg)
+            c = f_gate * c + i * g
+            h = o * F.tanh(c)
+            if self.return_sequences:
+                states.append(h)
+        if self.return_sequences:
+            return stack(states, axis=1)
+        return h
+
+    def parameters(self) -> Iterator[Tensor]:
+        return iter(self._params)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        t, _ = input_shape
+        return (t, self.units) if self.return_sequences else (self.units,)

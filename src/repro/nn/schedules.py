@@ -1,0 +1,102 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``step -> lr`` attached to an optimizer via
+:class:`ScheduledOptimizer` or used directly inside the fit loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optim import Optimizer
+
+
+class Schedule:
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class Constant(Schedule):
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecay(Schedule):
+    """Multiply the lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.lr, self.step_size, self.gamma = lr, step_size, gamma
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class ExponentialDecay(Schedule):
+    def __init__(self, lr: float, decay_rate: float, decay_steps: int) -> None:
+        self.lr, self.decay_rate, self.decay_steps = lr, decay_rate, decay_steps
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.decay_rate ** (step / self.decay_steps)
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.lr, self.total_steps, self.min_lr = lr, total_steps, min_lr
+
+    def __call__(self, step: int) -> float:
+        frac = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + math.cos(math.pi * frac))
+
+
+class WarmupCosine(Schedule):
+    """Linear warmup for ``warmup_steps`` then cosine decay — the schedule
+    large-batch data-parallel training uses (Goyal et al. style), relevant
+    to the scaling experiments E2/E3."""
+
+    def __init__(self, lr: float, warmup_steps: int, total_steps: int, min_lr: float = 0.0) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.lr, self.warmup_steps, self.total_steps, self.min_lr = lr, warmup_steps, total_steps, min_lr
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.lr * (step + 1) / max(self.warmup_steps, 1)
+        frac = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        frac = min(frac, 1.0)
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + math.cos(math.pi * frac))
+
+
+class ScheduledOptimizer:
+    """Wrap an optimizer so every ``step`` first updates its lr."""
+
+    def __init__(self, optimizer: Optimizer, schedule: Schedule) -> None:
+        self.optimizer = optimizer
+        self.schedule = schedule
+
+    def zero_grad(self) -> None:
+        self.optimizer.zero_grad()
+
+    def step(self) -> None:
+        self.optimizer.lr = self.schedule(self.optimizer.step_count)
+        self.optimizer.step()
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    @property
+    def params(self):
+        return self.optimizer.params
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        return self.optimizer.clip_grad_norm(max_norm)

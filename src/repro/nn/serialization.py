@@ -1,0 +1,114 @@
+"""Model checkpointing: save/load weights (and optimizer state) as .npz.
+
+Long CANDLE-style campaigns checkpoint between hyperparameter-search
+rungs (Hyperband promotions resume training) and across job boundaries;
+this module provides that persistence for any :class:`repro.nn.Model`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .model import Model
+from .optim import Adam, Optimizer, RMSProp, SGD
+
+
+def save_weights(model: Model, path: Union[str, Path], metadata: Optional[Dict] = None) -> None:
+    """Write all model parameters (ordered) plus optional JSON metadata."""
+    path = Path(path)
+    weights = model.get_weights()
+    arrays = {f"param_{i:04d}": w for i, w in enumerate(weights)}
+    arrays["_meta"] = np.frombuffer(
+        json.dumps({"n_params": len(weights), "metadata": metadata or {}}).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_weights(model: Model, path: Union[str, Path]) -> Dict:
+    """Restore parameters saved by :func:`save_weights`; returns metadata.
+
+    The model must already be built with matching shapes.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["_meta"]).decode())
+        n = meta["n_params"]
+        weights = [data[f"param_{i:04d}"] for i in range(n)]
+    model.set_weights(weights)
+    return meta["metadata"]
+
+
+def save_checkpoint(
+    model: Model,
+    optimizer: Optional[Optimizer],
+    path: Union[str, Path],
+    epoch: int = 0,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Full training checkpoint: weights + optimizer moments + epoch."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    weights = model.get_weights()
+    for i, w in enumerate(weights):
+        arrays[f"param_{i:04d}"] = w
+    opt_state: Dict = {"type": None}
+    if optimizer is not None:
+        opt_state["type"] = type(optimizer).__name__
+        opt_state["lr"] = optimizer.lr
+        opt_state["step_count"] = optimizer.step_count
+        params = optimizer.params
+        if isinstance(optimizer, Adam):
+            for i, p in enumerate(params):
+                if id(p) in optimizer._m:
+                    arrays[f"adam_m_{i:04d}"] = optimizer._m[id(p)]
+                    arrays[f"adam_v_{i:04d}"] = optimizer._v[id(p)]
+        elif isinstance(optimizer, SGD) and optimizer.momentum:
+            for i, p in enumerate(params):
+                if id(p) in optimizer._velocity:
+                    arrays[f"sgd_v_{i:04d}"] = optimizer._velocity[id(p)]
+    header = {
+        "n_params": len(weights),
+        "epoch": epoch,
+        "optimizer": opt_state,
+        "metadata": metadata or {},
+    }
+    arrays["_meta"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(model: Model, optimizer: Optional[Optimizer], path: Union[str, Path]) -> Dict:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Returns the header dict (epoch, metadata...).  Optimizer state is
+    restored when the optimizer type matches what was saved.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        header = json.loads(bytes(data["_meta"]).decode())
+        n = header["n_params"]
+        model.set_weights([data[f"param_{i:04d}"] for i in range(n)])
+        opt_state = header.get("optimizer", {})
+        if optimizer is not None and opt_state.get("type") == type(optimizer).__name__:
+            optimizer.lr = opt_state["lr"]
+            optimizer.step_count = opt_state["step_count"]
+            params = optimizer.params
+            if isinstance(optimizer, Adam):
+                for i, p in enumerate(params):
+                    key = f"adam_m_{i:04d}"
+                    if key in data:
+                        optimizer._m[id(p)] = data[key].copy()
+                        optimizer._v[id(p)] = data[f"adam_v_{i:04d}"].copy()
+            elif isinstance(optimizer, SGD):
+                for i, p in enumerate(params):
+                    key = f"sgd_v_{i:04d}"
+                    if key in data:
+                        optimizer._velocity[id(p)] = data[key].copy()
+    return header

@@ -1,0 +1,22 @@
+"""Reduced-precision emulation: rounding, int8 quantization, and
+mixed-precision training policies (claim C7 / experiment E1)."""
+
+from .policy import LayerwisePolicy, LossScaler, PrecisionPolicy, train_with_policy
+from .quantize import INT8_LEVELS, QuantParams, calibrate, quantization_mse, quantize_weights
+from .rounding import (
+    FORMAT_INFO,
+    get_rounder,
+    quantization_noise_std,
+    round_bf16,
+    round_fp8_e4m3,
+    round_fp16,
+    round_fp32,
+    stochastic_round_fp16,
+)
+
+__all__ = [
+    "PrecisionPolicy", "LayerwisePolicy", "LossScaler", "train_with_policy",
+    "QuantParams", "calibrate", "quantize_weights", "quantization_mse", "INT8_LEVELS",
+    "FORMAT_INFO", "get_rounder", "round_fp32", "round_fp16", "round_bf16",
+    "round_fp8_e4m3", "stochastic_round_fp16", "quantization_noise_std",
+]

@@ -1,0 +1,71 @@
+"""Symmetric int8 quantization with scale calibration.
+
+Supports the E1 precision-ablation experiment's int8 rows: weights and
+activations are snapped to an int8 grid whose scale is calibrated either
+from the max absolute value ("minmax") or from a high percentile
+("percentile", robust to outliers — the difference between the two is one
+of the ablation's findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+INT8_LEVELS = 127  # symmetric: [-127, 127], -128 unused
+
+
+@dataclass
+class QuantParams:
+    """Per-tensor symmetric quantization parameters."""
+
+    scale: float
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Real -> int8 grid (returned as int8)."""
+        q = np.round(np.asarray(x, dtype=np.float64) / self.scale)
+        return np.clip(q, -INT8_LEVELS, INT8_LEVELS).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """int8 grid -> real."""
+        return q.astype(np.float64) * self.scale
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip through the int8 grid, staying in float64 — the
+        standard "fake quant" used for quantization-aware evaluation."""
+        return self.dequantize(self.quantize(x))
+
+
+def calibrate(x: np.ndarray, method: str = "minmax", percentile: float = 99.9) -> QuantParams:
+    """Choose a quantization scale for tensor ``x``.
+
+    ``minmax`` maps max|x| to the top level; ``percentile`` clips outliers
+    so the bulk of the distribution gets finer resolution.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot calibrate an empty tensor")
+    if method == "minmax":
+        amax = float(np.abs(x).max())
+    elif method == "percentile":
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        amax = float(np.percentile(np.abs(x), percentile))
+    else:
+        raise ValueError(f"unknown calibration method {method!r}")
+    if amax == 0.0:
+        amax = 1e-8  # all-zero tensor: any scale works
+    return QuantParams(scale=amax / INT8_LEVELS)
+
+
+def quantize_weights(weights, method: str = "minmax") -> list:
+    """Fake-quantize a list of weight arrays (per-tensor scales)."""
+    return [calibrate(w, method=method).fake_quantize(w) for w in weights]
+
+
+def quantization_mse(x: np.ndarray, method: str = "minmax") -> float:
+    """Mean squared error introduced by int8 fake quantization of ``x``."""
+    qp = calibrate(x, method=method)
+    return float(((qp.fake_quantize(x) - x) ** 2).mean())

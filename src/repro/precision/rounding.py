@@ -1,0 +1,131 @@
+"""Software emulation of reduced-precision arithmetic.
+
+The keynote's claim C7 is that DNN training "rarely require[s] 64bit or even
+32bits of precision".  We test that claim by *emulating* reduced formats on
+top of float64 storage: values are rounded to the target format's
+representable set after every optimizer update (and optionally after every
+forward op).  This reproduces the numerical effect of low-precision hardware
+without needing that hardware.
+
+Supported formats
+-----------------
+- ``fp64``: IEEE double (identity — the reference).
+- ``fp32``: IEEE single.
+- ``fp16``: IEEE half (5 exponent bits, 10 mantissa bits) — NumPy native.
+- ``bf16``: bfloat16 (8 exponent bits, 7 mantissa bits) — emulated by
+  truncating/rounding the low 16 bits of the float32 pattern.
+- ``fp8_e4m3``: 8-bit float, 4 exponent / 3 mantissa bits (the format later
+  standardized for DL inference) — emulated via value snapping.
+- ``int8``: symmetric fixed-point with a per-tensor scale (see
+  :mod:`repro.precision.quantize`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+#: Formats whose dynamic range / epsilon we expose for documentation and for
+#: the loss-scaling heuristics in :mod:`repro.precision.policy`.
+FORMAT_INFO: Dict[str, Dict[str, float]] = {
+    "fp64": {"max": float(np.finfo(np.float64).max), "eps": float(np.finfo(np.float64).eps)},
+    "fp32": {"max": float(np.finfo(np.float32).max), "eps": float(np.finfo(np.float32).eps)},
+    "fp16": {"max": 65504.0, "eps": 2.0 ** -10},
+    "bf16": {"max": float(np.finfo(np.float32).max), "eps": 2.0 ** -7},
+    "fp8_e4m3": {"max": 448.0, "eps": 2.0 ** -3},
+}
+
+
+def round_fp32(x: np.ndarray) -> np.ndarray:
+    """Round to float32 representable values (storage stays float64)."""
+    return x.astype(np.float32).astype(np.float64)
+
+
+def round_fp16(x: np.ndarray) -> np.ndarray:
+    """Round to IEEE half; overflow saturates to ±inf exactly as np.float16."""
+    with np.errstate(over="ignore"):
+        return x.astype(np.float16).astype(np.float64)
+
+
+def round_bf16(x: np.ndarray) -> np.ndarray:
+    """Round to bfloat16 via round-to-nearest-even on the float32 bit pattern."""
+    f32 = x.astype(np.float32)
+    bits = f32.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF + LSB of the kept part, then truncate.
+    lsb = (bits >> 16) & 1
+    rounded = (bits + 0x7FFF + lsb) & 0xFFFF0000
+    return rounded.view(np.float32).astype(np.float64)
+
+
+def round_fp8_e4m3(x: np.ndarray) -> np.ndarray:
+    """Round to the e4m3 8-bit float grid (saturating at ±448).
+
+    Implemented by snapping the mantissa to 3 bits at the value's binade.
+    Subnormals (|x| < 2^-6) snap to multiples of 2^-9.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.zeros_like(x)
+    finite = np.isfinite(x)
+    ax = np.abs(x)
+    sign = np.sign(x)
+
+    normal = finite & (ax >= 2.0 ** -6)
+    sub = finite & (ax < 2.0 ** -6) & (ax > 0)
+
+    # Normal range: mantissa step is 2^(e-3) at binade e.
+    e = np.floor(np.log2(np.where(normal, ax, 1.0)))
+    step = 2.0 ** (e - 3)
+    out[normal] = (sign * np.round(ax / step) * step)[normal]
+    # Subnormal range.
+    out[sub] = (sign * np.round(ax / 2.0 ** -9) * 2.0 ** -9)[sub]
+    # Saturate.
+    np.clip(out, -448.0, 448.0, out=out)
+    out[~finite] = x[~finite]
+    return out
+
+
+def stochastic_round_fp16(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Stochastic rounding to fp16: round up with probability proportional
+    to the distance to the lower neighbour.  Unbiased in expectation, which
+    rescues tiny-gradient accumulation that round-to-nearest kills."""
+    x = np.asarray(x, dtype=np.float64)
+    lo = x.astype(np.float16).astype(np.float64)
+    # Where rounding went up, the "low" neighbour is one ulp down, and vice versa.
+    hi = np.nextafter(lo.astype(np.float16), np.float16(np.inf)).astype(np.float64)
+    lo2 = np.nextafter(lo.astype(np.float16), np.float16(-np.inf)).astype(np.float64)
+    lower = np.where(lo <= x, lo, lo2)
+    upper = np.where(lo <= x, hi, lo)
+    gap = upper - lower
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_up = np.where(gap > 0, (x - lower) / gap, 0.0)
+    up = rng.random(x.shape) < p_up
+    out = np.where(up, upper, lower)
+    # Exact representables stay exact.
+    exact = lo == x
+    return np.where(exact, x, out)
+
+
+ROUNDERS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "fp64": lambda x: np.asarray(x, dtype=np.float64),
+    "fp32": round_fp32,
+    "fp16": round_fp16,
+    "bf16": round_bf16,
+    "fp8_e4m3": round_fp8_e4m3,
+}
+
+
+def get_rounder(fmt: str) -> Callable[[np.ndarray], np.ndarray]:
+    """Look up the rounding function for a named format."""
+    try:
+        return ROUNDERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown precision format {fmt!r}; choose from {sorted(ROUNDERS)}")
+
+
+def quantization_noise_std(fmt: str, scale: float = 1.0) -> float:
+    """Rough RMS rounding error for values of magnitude ``scale`` — used by
+    tests and by the precision-aware performance model."""
+    eps = FORMAT_INFO[fmt]["eps"]
+    # Uniform rounding error in [-ulp/2, ulp/2] has std ulp/sqrt(12).
+    return scale * eps / np.sqrt(12.0)

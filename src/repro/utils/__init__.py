@@ -1,0 +1,6 @@
+"""Shared utilities: reproducible RNG trees, simple tables, timers."""
+
+from .rng import spawn_rng, seed_everything
+from .tables import format_table
+
+__all__ = ["spawn_rng", "seed_everything", "format_table"]

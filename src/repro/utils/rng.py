@@ -1,0 +1,26 @@
+"""Reproducible random-number plumbing.
+
+Every stochastic component in the library takes an ``np.random.Generator``.
+``spawn_rng`` derives independent child streams from a parent so that, e.g.,
+HPO trial k always sees the same stream regardless of execution order —
+essential for comparing sync vs async search schedules (experiment E6).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Root generator for a run."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(parent: np.random.Generator, n: int = 1) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    seeds = parent.integers(0, 2**63, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,25 @@
+"""Minimal fixed-width table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".4g") -> str:
+    """Render rows as an aligned text table (benchmarks print these so the
+    harness output looks like the paper's tables)."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

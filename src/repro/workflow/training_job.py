@@ -1,0 +1,129 @@
+"""Training jobs that couple *real* NumPy training with *simulated* cost.
+
+The bridge between the two halves of the library: a job trains an actual
+CANDLE-style model (so accuracy numbers are real) while the HPC simulator
+prices each step (so time/energy numbers reflect the target machine).
+E6's time-to-accuracy experiments and the HPO cost models live on this
+bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..candle.registry import BenchmarkSpec, get_benchmark
+from ..hpc.cluster import SimCluster
+from ..hpc.energy import step_energy
+from ..hpc.parallelism import DataParallel, ParallelPlan, SingleNode
+from ..hpc.perfmodel import ModelProfile, profile_model
+from ..hpo.space import Config
+from ..nn.model import History, Model
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one simulated-cost training run."""
+
+    history: History
+    profile: ModelProfile
+    sim_step_time: float
+    sim_epoch_time: float
+    sim_total_time: float
+    energy_joules: float
+    final_loss: float
+
+
+def run_training_job(
+    model: Model,
+    x: np.ndarray,
+    y,
+    cluster: SimCluster,
+    plan: Optional[ParallelPlan] = None,
+    precision: str = "fp32",
+    epochs: int = 5,
+    batch_size: int = 32,
+    loss: str = "mse",
+    lr: float = 1e-3,
+    seed: int = 0,
+) -> TrainingReport:
+    """Train ``model`` for real; price every step on ``cluster``/``plan``.
+
+    The simulated global batch is the fit loop's batch; steps per epoch
+    come from the dataset size.
+    """
+    plan = plan or SingleNode()
+    x = np.asarray(x)
+    history = model.fit(x, y, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed)
+    profile = profile_model(model, x.shape[1:], batch_size=batch_size)
+    if not plan.feasible(profile, cluster, precision):
+        raise ValueError(
+            f"plan {plan.name} does not fit: needs "
+            f"{plan.memory_per_node(profile, precision) / 1e9:.1f} GB/node, node has "
+            f"{cluster.node.accelerator.mem_capacity / 1e9:.1f} GB"
+        )
+    step_t = plan.step_time(profile, cluster, precision)
+    steps_per_epoch = int(np.ceil(len(x) / batch_size))
+    epoch_t = step_t * steps_per_epoch
+    energy = step_energy(plan, profile, cluster, precision).total * steps_per_epoch * len(history)
+    return TrainingReport(
+        history=history,
+        profile=profile,
+        sim_step_time=step_t,
+        sim_epoch_time=epoch_t,
+        sim_total_time=epoch_t * len(history),
+        energy_joules=energy,
+        final_loss=history.series("loss")[-1],
+    )
+
+
+def simulated_trial_cost(
+    benchmark: str | BenchmarkSpec,
+    cluster: SimCluster,
+    precision: str = "fp32",
+    samples_per_epoch: int = 10_000,
+    base_epochs: int = 1,
+) -> Callable[[Config, int], float]:
+    """Cost model for :func:`repro.hpo.scheduler.run_parallel`.
+
+    Maps an HPO config to the simulated seconds one trial takes on a
+    single cluster node: configs with wider layers genuinely cost more —
+    the heterogeneity that makes async search win (E6).
+    """
+    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    x, _ = spec.make_data(seed=0)
+    input_dim = int(np.prod(x.shape[1:]))
+
+    def cost(config: Config, budget: int) -> float:
+        h1 = int(config.get("hidden1", 64))
+        h2 = int(config.get("hidden2", 32))
+        batch = int(config.get("batch_size", 32))
+        from ..hpc.perfmodel import mlp_profile
+
+        profile = mlp_profile([input_dim, h1, h2, 16], batch_size=batch)
+        step = SingleNode().step_time(profile, cluster, precision)
+        steps = int(np.ceil(samples_per_epoch / batch)) * max(1, base_epochs * budget)
+        return step * steps
+
+    return cost
+
+
+def time_to_loss(
+    report_or_history: History | TrainingReport,
+    target_loss: float,
+    epoch_time: Optional[float] = None,
+) -> Optional[float]:
+    """Simulated time at which training first reached ``target_loss``."""
+    if isinstance(report_or_history, TrainingReport):
+        history = report_or_history.history
+        epoch_time = report_or_history.sim_epoch_time
+    else:
+        history = report_or_history
+        if epoch_time is None:
+            raise ValueError("epoch_time required when passing a bare History")
+    for i, loss in enumerate(history.series("loss"), start=1):
+        if loss <= target_loss:
+            return i * epoch_time
+    return None

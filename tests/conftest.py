@@ -1,0 +1,6 @@
+"""Make tests/ importable (helpers module) without packaging it."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,70 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_grad(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_grad(
+    op: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that autograd of ``op(x).sum()`` matches finite differences."""
+    x = np.asarray(x, dtype=np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t)
+    loss = out.sum()
+    loss.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(op(Tensor(arr)).sum().item())
+
+    numeric = numerical_grad(scalar_fn, x)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def check_grad_multi(
+    op: Callable[..., Tensor],
+    arrays: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Gradient check w.r.t. each of several inputs of a multi-arg op."""
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    op(*tensors).sum().backward()
+    for i, (t, a) in enumerate(zip(tensors, arrays)):
+        def scalar_fn(arr: np.ndarray, i=i) -> float:
+            args = [Tensor(x) for x in arrays]
+            args[i] = Tensor(arr)
+            return float(op(*args).sum().item())
+
+        numeric = numerical_grad(scalar_fn, a)
+        np.testing.assert_allclose(
+            t.grad, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for argument {i}",
+        )

@@ -1,0 +1,242 @@
+"""Tests for the functional communicator — correctness of the collective
+algorithms AND agreement with the analytic cost models' traffic accounting."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import Communicator
+
+RNG = np.random.default_rng(41)
+
+
+def make_buffers(p, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(p)]
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_computes_sum(self, p):
+        bufs = make_buffers(p, 20, seed=p)
+        expected = sum(bufs)
+        comm = Communicator(p)
+        comm.Allreduce_ring(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expected)
+
+    def test_message_count_matches_model(self):
+        """Ring allreduce: 2(p-1) steps, one message per rank per step —
+        exactly what allreduce_ring's latency term charges."""
+        p = 6
+        comm = Communicator(p)
+        comm.Allreduce_ring(make_buffers(p, 30))
+        assert comm.traffic.messages == 2 * p * (p - 1)
+
+    def test_bytes_per_rank_matches_model(self):
+        """Ring volume per rank = 2 n (p-1)/p bytes — the bandwidth term of
+        the analytic model, validated against real transfers."""
+        p, n = 4, 16
+        comm = Communicator(p)
+        comm.Allreduce_ring(make_buffers(p, n))
+        expected = 2 * n * (p - 1) / p * 8.0
+        for r in range(p):
+            assert comm.traffic.per_rank_bytes[r] == pytest.approx(expected)
+
+    def test_uneven_chunking(self):
+        # Size not divisible by p.
+        p = 4
+        bufs = make_buffers(p, 10)
+        expected = sum(bufs)
+        comm = Communicator(p)
+        comm.Allreduce_ring(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expected)
+
+    def test_multidimensional_buffers(self):
+        p = 3
+        bufs = [RNG.standard_normal((4, 5)) for _ in range(p)]
+        expected = sum(bufs)
+        comm = Communicator(p)
+        comm.Allreduce_ring(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expected)
+
+    @given(st.integers(2, 8), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_property(self, p, n):
+        bufs = make_buffers(p, n, seed=p * 100 + n)
+        expected = sum(bufs)
+        comm = Communicator(p)
+        comm.Allreduce_ring(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expected, atol=1e-10)
+
+
+class TestRecursiveDoubling:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_computes_sum(self, p):
+        bufs = make_buffers(p, 12, seed=p)
+        expected = sum(bufs)
+        comm = Communicator(p)
+        comm.Allreduce_recursive_doubling(bufs)
+        for b in bufs:
+            np.testing.assert_allclose(b, expected)
+
+    def test_non_power_of_two_rejected(self):
+        comm = Communicator(6)
+        with pytest.raises(ValueError):
+            comm.Allreduce_recursive_doubling(make_buffers(6, 8))
+
+    def test_message_count_is_p_log_p(self):
+        p = 8
+        comm = Communicator(p)
+        comm.Allreduce_recursive_doubling(make_buffers(p, 10))
+        assert comm.traffic.messages == p * int(math.log2(p))
+
+    def test_full_buffer_each_round(self):
+        """Recursive doubling sends the FULL buffer log2(p) times per rank —
+        the reason it loses to ring at large sizes (E10)."""
+        p, n = 4, 25
+        comm = Communicator(p)
+        comm.Allreduce_recursive_doubling(make_buffers(p, n))
+        assert comm.traffic.per_rank_bytes[0] == pytest.approx(n * 8.0 * math.log2(p))
+
+    def test_ring_cheaper_in_bytes_rd_cheaper_in_messages(self):
+        """The E10 crossover, observed in real traffic counts."""
+        p, n = 8, 1000
+        ring = Communicator(p)
+        ring.Allreduce_ring(make_buffers(p, n))
+        rd = Communicator(p)
+        rd.Allreduce_recursive_doubling(make_buffers(p, n))
+        assert ring.traffic.bytes_sent < rd.traffic.bytes_sent
+        assert rd.traffic.messages < ring.traffic.messages
+
+
+class TestReduceScatterAllgather:
+    def test_reduce_scatter_chunks(self):
+        p, n = 4, 12
+        bufs = make_buffers(p, n, seed=3)
+        full = sum(bufs)
+        comm = Communicator(p)
+        chunks = comm.Reduce_scatter(bufs)
+        bounds = np.linspace(0, n, p + 1).astype(int)
+        for r in range(p):
+            c = (r + 1) % p
+            np.testing.assert_allclose(chunks[r], full[bounds[c] : bounds[c + 1]])
+
+    def test_allgather_order(self):
+        p = 5
+        pieces = [np.full(2, float(r)) for r in range(p)]
+        comm = Communicator(p)
+        out = comm.Allgather(pieces)
+        expected = np.concatenate(pieces)
+        for o in out:
+            np.testing.assert_allclose(o, expected)
+
+    def test_reduce_scatter_plus_allgather_equals_allreduce(self):
+        """The ring-allreduce decomposition identity, on real data."""
+        p, n = 4, 16
+        bufs = make_buffers(p, n, seed=9)
+        expected = sum(bufs)
+        comm = Communicator(p)
+        chunks = comm.Reduce_scatter(bufs)
+        # Reorder: rank r owns chunk (r+1)%p; allgather wants rank order.
+        pieces = [chunks[(c - 1) % p] for c in range(p)]
+        gathered = comm.Allgather(pieces)
+        for g in gathered:
+            np.testing.assert_allclose(g, expected)
+
+    def test_allgather_wrong_count(self):
+        with pytest.raises(ValueError):
+            Communicator(3).Allgather([np.ones(2)] * 2)
+
+
+class TestBcastAlltoall:
+    @pytest.mark.parametrize("p,root", [(1, 0), (2, 1), (5, 3), (8, 0)])
+    def test_bcast_delivers_root_value(self, p, root):
+        bufs = [np.full(4, float(r)) for r in range(p)]
+        comm = Communicator(p)
+        comm.Bcast(bufs, root=root)
+        for b in bufs:
+            np.testing.assert_allclose(b, float(root))
+
+    def test_bcast_message_count_is_p_minus_1(self):
+        p = 8
+        comm = Communicator(p)
+        comm.Bcast([np.zeros(3) for _ in range(p)], root=0)
+        assert comm.traffic.messages == p - 1  # tree sends each rank once
+
+    def test_bcast_bad_root(self):
+        with pytest.raises(ValueError):
+            Communicator(4).Bcast([np.zeros(2)] * 4, root=4)
+
+    def test_alltoall_transpose(self):
+        p = 3
+        blocks = [[np.array([float(10 * src + dst)]) for dst in range(p)] for src in range(p)]
+        comm = Communicator(p)
+        out = comm.Alltoall(blocks)
+        for dst in range(p):
+            for src in range(p):
+                assert out[dst][src][0] == 10 * src + dst
+
+    def test_alltoall_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(2).Alltoall([[np.ones(1)]])
+
+
+class TestCommunicatorPlumbing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(0)
+        comm = Communicator(3)
+        with pytest.raises(ValueError):
+            comm.Allreduce_ring([np.ones(3)] * 2)  # wrong count
+        with pytest.raises(ValueError):
+            comm.Allreduce_ring([np.ones(3), np.ones(3), np.ones(4)])  # shape mismatch
+
+    def test_traffic_reset(self):
+        comm = Communicator(4)
+        comm.Allreduce_ring(make_buffers(4, 8))
+        comm.traffic.reset()
+        assert comm.traffic.messages == 0
+        assert comm.traffic.bytes_sent == 0.0
+        assert all(b == 0.0 for b in comm.traffic.per_rank_bytes)
+
+    def test_single_rank_no_traffic(self):
+        comm = Communicator(1)
+        bufs = make_buffers(1, 5)
+        comm.Allreduce_ring(bufs)
+        assert comm.traffic.messages == 0
+
+
+class TestCrossValidationWithCostModels:
+    def test_ring_bytes_match_parallelism_plan_accounting(self):
+        """DataParallel.comm_bytes_per_step charges 2 g (p-1)/p per node —
+        the functional ring allreduce must move exactly that."""
+        from repro.hpc import DataParallel, mlp_profile
+
+        p = 8
+        profile = mlp_profile([10, 6], batch_size=4)
+        plan = DataParallel(p)
+        expected_per_node = plan.comm_bytes_per_step(profile, "fp64")
+        n_grad = profile.params
+        comm = Communicator(p)
+        comm.Allreduce_ring([RNG.standard_normal(n_grad) for _ in range(p)])
+        assert comm.traffic.per_rank_bytes[0] == pytest.approx(expected_per_node, rel=0.01)
+
+    def test_allreduce_energy_bytes_match(self):
+        """allreduce_energy's ring byte count equals real traffic."""
+        from repro.hpc import LinkSpec, Network, Ring, allreduce_energy
+
+        p, n = 4, 64
+        net = Network(Ring(p), LinkSpec())
+        nbytes = n * 8.0
+        joules = allreduce_energy(net, p, nbytes, "ring")
+        implied_bytes = joules / (net.link.energy_per_byte * 1e-12)
+        comm = Communicator(p)
+        comm.Allreduce_ring(make_buffers(p, n))
+        assert comm.traffic.bytes_sent == pytest.approx(implied_bytes, rel=0.01)

@@ -1,0 +1,175 @@
+"""Tests for 2-D convolution ops/layers and the tumor-imaging workload."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.candle import LogisticRegression, build_imaging_classifier
+from repro.datasets import make_tumor_images
+from repro.nn import Conv2D, GlobalAvgPool2D, MaxPool2D, Sequential, Tensor, metrics, train_val_split
+
+from helpers import check_grad, check_grad_multi
+
+RNG = np.random.default_rng(17)
+
+
+class TestConv2DFunctional:
+    def test_output_shape(self):
+        x = Tensor(RNG.standard_normal((2, 3, 10, 12)))
+        w = Tensor(RNG.standard_normal((5, 3, 3, 3)))
+        assert F.conv2d(x, w).shape == (2, 5, 8, 10)
+
+    def test_padding_same_shape(self):
+        x = Tensor(RNG.standard_normal((1, 2, 8, 8)))
+        w = Tensor(RNG.standard_normal((4, 2, 3, 3)))
+        assert F.conv2d(x, w, padding=1).shape == (1, 4, 8, 8)
+
+    def test_stride(self):
+        x = Tensor(RNG.standard_normal((1, 1, 9, 9)))
+        w = Tensor(RNG.standard_normal((2, 1, 3, 3)))
+        assert F.conv2d(x, w, stride=2).shape == (1, 2, 4, 4)
+
+    def test_matches_direct_2d_correlation(self):
+        x = RNG.standard_normal((1, 1, 5, 5))
+        w = RNG.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w)).data[0, 0]
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = (x[0, 0, i : i + 3, j : j + 3] * w[0, 0]).sum()
+        assert np.allclose(out, expected)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 5, 5))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_too_small_input(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 5, 5))))
+
+    def test_grad_x_w_b(self):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        b = RNG.standard_normal(3)
+        check_grad_multi(lambda a, ww, bb: F.conv2d(a, ww, bb), [x, w, b])
+
+    def test_grad_stride_padding(self):
+        x = RNG.standard_normal((1, 2, 7, 7))
+        w = RNG.standard_normal((2, 2, 3, 3))
+        check_grad_multi(lambda a, ww: F.conv2d(a, ww, stride=2, padding=1), [x, w])
+
+
+class TestPool2D:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.maxpool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad(self):
+        check_grad(lambda t: F.maxpool2d(t, 2), RNG.standard_normal((2, 2, 6, 6)))
+
+    def test_maxpool_overlapping_grad(self):
+        check_grad(lambda t: F.maxpool2d(t, 3, stride=2), RNG.standard_normal((1, 2, 7, 7)))
+
+    def test_global_avgpool(self):
+        x = RNG.standard_normal((2, 3, 4, 5))
+        out = F.global_avgpool2d(Tensor(x))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_global_avgpool_grad(self):
+        check_grad(F.global_avgpool2d, RNG.standard_normal((2, 3, 4, 4)))
+
+
+class TestConv2DLayer:
+    def test_shape_metadata_matches_forward(self):
+        model = Sequential([
+            Conv2D(8, 3, padding="same"),
+            MaxPool2D(2),
+            Conv2D(16, 3),
+            GlobalAvgPool2D(),
+        ])
+        model.build((1, 16, 16), np.random.default_rng(0))
+        shape = (1, 16, 16)
+        for layer in model.layers:
+            shape = layer.output_shape(shape)
+        out = model(Tensor(RNG.standard_normal((3, 1, 16, 16))))
+        assert out.shape == (3,) + shape
+
+    def test_param_count(self):
+        layer = Conv2D(4, 3)
+        layer.build((2, 8, 8), np.random.default_rng(0))
+        assert layer.param_count() == 4 * 2 * 9 + 4
+
+    def test_same_with_stride_raises(self):
+        with pytest.raises(ValueError):
+            Conv2D(4, 3, stride=2, padding="same")
+
+    def test_batchnorm_on_conv2d_features(self):
+        from repro.nn import BatchNorm
+
+        bn = BatchNorm()
+        bn.build((4, 8, 8), np.random.default_rng(0))
+        out = bn(Tensor(RNG.standard_normal((16, 4, 8, 8)) * 3 + 2), training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+
+
+class TestImagingDataset:
+    def test_shapes_and_range(self):
+        ds = make_tumor_images(n_samples=40, size=16, seed=0)
+        assert ds.x.shape == (40, 1, 16, 16)
+        assert ds.image_size == 16
+        assert np.all(ds.x >= 0) and np.all(ds.x <= 1)
+
+    def test_standardized_variant(self):
+        ds = make_tumor_images(n_samples=20, size=16, standardize=True, seed=0)
+        means = ds.x.reshape(20, -1).mean(axis=1)
+        assert np.allclose(means, 0, atol=1e-9)
+
+    def test_reproducible(self):
+        a = make_tumor_images(n_samples=10, size=12, seed=3)
+        b = make_tumor_images(n_samples=10, size=12, seed=3)
+        assert np.array_equal(a.x, b.x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_tumor_images(n_grades=1)
+        with pytest.raises(ValueError):
+            make_tumor_images(size=4)
+
+    def test_density_signal_unless_equalized(self):
+        """Default images: tumor class is darker on average (more nuclei);
+        equal_density removes that global shortcut."""
+        ds = make_tumor_images(n_samples=200, size=16, seed=0)
+        mean0 = ds.x[ds.y == 0].mean()
+        mean1 = ds.x[ds.y == 1].mean()
+        assert mean1 < mean0  # more dark nuclei
+        dse = make_tumor_images(n_samples=200, size=16, equal_density=True, standardize=True, seed=0)
+        m0 = dse.x[dse.y == 0].mean()
+        m1 = dse.x[dse.y == 1].mean()
+        assert abs(m0 - m1) < 0.02
+
+
+class TestImagingClassifier:
+    def test_conv_beats_pixel_linear_on_local_signal(self):
+        """The imaging claim (C1): with only local shape/texture signal,
+        the conv net must clearly beat a pixel-space linear model."""
+        ds = make_tumor_images(
+            n_samples=300, size=20, equal_density=True, standardize=True, seed=0
+        )
+        x_tr, y_tr, x_te, y_te = train_val_split(ds.x, ds.y, val_frac=0.3, rng=np.random.default_rng(0))
+        model = build_imaging_classifier(2, conv_filters=(8, 16), dense_units=(32,), dropout=0.0)
+        model.fit(x_tr, y_tr, epochs=8, batch_size=32, loss="cross_entropy", lr=2e-3, seed=0)
+        conv_acc = metrics.accuracy(model.predict(x_te), y_te)
+        flat_tr = x_tr.reshape(len(x_tr), -1)
+        flat_te = x_te.reshape(len(x_te), -1)
+        base_acc = metrics.accuracy(
+            LogisticRegression(n_iter=300).fit(flat_tr, y_tr).predict_proba(flat_te), y_te
+        )
+        assert conv_acc > base_acc + 0.15
+
+    def test_builder_output_shape(self):
+        model = build_imaging_classifier(3, conv_filters=(4,), dense_units=(8,))
+        model.build((1, 16, 16), np.random.default_rng(0))
+        out = model(Tensor(RNG.standard_normal((2, 1, 16, 16))))
+        assert out.shape == (2, 3)

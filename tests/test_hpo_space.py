@@ -1,0 +1,253 @@
+"""Tests for search spaces, results, objectives (repro.hpo)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo import (
+    Categorical,
+    Float,
+    Int,
+    ResultLog,
+    SearchSpace,
+    SurrogateLandscape,
+    Trial,
+    benchmark_objective,
+    candle_mlp_space,
+)
+
+RNG = np.random.default_rng(3)
+
+
+class TestFloat:
+    def test_sample_in_range(self):
+        dim = Float(0.1, 10.0)
+        for _ in range(50):
+            assert 0.1 <= dim.sample(RNG) <= 10.0
+
+    def test_log_sampling_spans_decades(self):
+        dim = Float(1e-5, 1e-1, log=True)
+        samples = [dim.sample(np.random.default_rng(i)) for i in range(200)]
+        assert min(samples) < 1e-4 and max(samples) > 1e-2
+
+    def test_unit_roundtrip(self):
+        dim = Float(2.0, 8.0)
+        for v in (2.0, 5.0, 8.0):
+            assert dim.from_unit(dim.to_unit(v)) == pytest.approx(v)
+
+    def test_log_unit_roundtrip(self):
+        dim = Float(1e-4, 1e-1, log=True)
+        assert dim.from_unit(dim.to_unit(1e-2)) == pytest.approx(1e-2)
+
+    def test_from_unit_clamps(self):
+        dim = Float(0.0, 1.0)
+        assert dim.from_unit(-0.5) == 0.0
+        assert dim.from_unit(1.5) == 1.0
+
+    def test_grid(self):
+        assert Float(0.0, 1.0).grid(3) == [0.0, 0.5, 1.0]
+        assert Float(0.0, 1.0).grid(1) == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Float(1.0, 0.0)
+        with pytest.raises(ValueError):
+            Float(0.0, 1.0, log=True)
+        with pytest.raises(ValueError):
+            Float(0.0, 1.0).grid(0)
+
+
+class TestInt:
+    def test_sample_in_range(self):
+        dim = Int(2, 9)
+        for _ in range(50):
+            v = dim.sample(RNG)
+            assert isinstance(v, int) and 2 <= v <= 9
+
+    def test_roundtrip(self):
+        dim = Int(16, 512, log=True)
+        for v in (16, 64, 512):
+            assert dim.from_unit(dim.to_unit(v)) == v
+
+    def test_degenerate_range(self):
+        dim = Int(5, 5)
+        assert dim.sample(RNG) == 5
+        assert dim.to_unit(5) == 0.5
+
+    def test_grid_unique_sorted(self):
+        g = Int(1, 4).grid(10)
+        assert g == sorted(set(g))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Int(5, 2)
+        with pytest.raises(ValueError):
+            Int(0, 5, log=True)
+
+
+class TestCategorical:
+    def test_sample_from_choices(self):
+        dim = Categorical(("a", "b", "c"))
+        assert dim.sample(RNG) in ("a", "b", "c")
+
+    def test_roundtrip_all_choices(self):
+        dim = Categorical(("x", "y", "z"))
+        for c in dim.choices:
+            assert dim.from_unit(dim.to_unit(c)) == c
+
+    def test_grid_is_choices(self):
+        assert Categorical((1, 2)).grid(99) == [1, 2]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Categorical(())
+
+
+class TestSearchSpace:
+    def make(self):
+        return SearchSpace({"a": Float(0, 1), "b": Int(1, 4), "c": Categorical(("x", "y"))})
+
+    def test_sample_has_all_keys(self):
+        cfg = self.make().sample(RNG)
+        assert set(cfg) == {"a", "b", "c"}
+
+    def test_unit_roundtrip(self):
+        space = self.make()
+        cfg = space.sample(np.random.default_rng(7))
+        u = space.to_unit(cfg)
+        assert space.from_unit(u)["c"] == cfg["c"]
+        assert space.from_unit(u)["b"] == cfg["b"]
+        assert space.from_unit(u)["a"] == pytest.approx(cfg["a"])
+
+    def test_grid_size(self):
+        space = self.make()
+        grid = space.grid(points_per_dim=3)
+        assert len(grid) == 3 * 3 * 2
+        assert space.grid_size(3) == len(grid)
+
+    def test_from_unit_wrong_length(self):
+        with pytest.raises(ValueError):
+            self.make().from_unit(np.zeros(2))
+
+    def test_empty_space_raises(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})
+
+    def test_candle_space_has_canonical_dims(self):
+        space = candle_mlp_space()
+        assert {"lr", "hidden1", "dropout", "batch_size", "activation"} <= set(space.names)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_vector_in_cube_property(self, seed):
+        space = candle_mlp_space()
+        cfg = space.sample(np.random.default_rng(seed))
+        u = space.to_unit(cfg)
+        assert np.all(u >= -1e-12) and np.all(u <= 1 + 1e-12)
+
+
+class TestResultLog:
+    def test_best_and_trajectory(self):
+        log = ResultLog()
+        for i, v in enumerate([3.0, 1.0, 2.0]):
+            log.add(Trial(trial_id=i, config={}, value=v))
+        assert log.best_value() == 1.0
+        assert log.trajectory() == [3.0, 1.0, 1.0]
+
+    def test_best_ignores_inf(self):
+        log = ResultLog()
+        log.add(Trial(0, {}, float("inf")))
+        log.add(Trial(1, {}, 5.0))
+        assert log.best_value() == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ResultLog().best()
+
+    def test_all_inf_raises(self):
+        log = ResultLog()
+        log.add(Trial(0, {}, float("inf")))
+        with pytest.raises(ValueError):
+            log.best()
+
+    def test_total_budget(self):
+        log = ResultLog()
+        log.add(Trial(0, {}, 1.0, budget=3))
+        log.add(Trial(1, {}, 1.0, budget=9))
+        assert log.total_budget() == 12
+
+    def test_time_to_value(self):
+        log = ResultLog()
+        log.add(Trial(0, {}, 5.0, sim_time=10.0))
+        log.add(Trial(1, {}, 1.0, sim_time=30.0))
+        assert log.time_to_value(2.0) == 30.0
+        assert log.time_to_value(0.5) is None
+
+    def test_trials_to_value(self):
+        log = ResultLog()
+        for i, v in enumerate([3.0, 2.0, 1.0]):
+            log.add(Trial(i, {}, v))
+        assert log.trials_to_value(2.0) == 2
+        assert log.trials_to_value(0.0) is None
+
+
+class TestSurrogateLandscape:
+    def test_deterministic_per_config(self):
+        space = candle_mlp_space()
+        land = SurrogateLandscape(space, seed=0)
+        cfg = space.sample(np.random.default_rng(0))
+        assert land(cfg, 3) == land(cfg, 3)
+
+    def test_budget_improves_value(self):
+        space = candle_mlp_space()
+        land = SurrogateLandscape(space, noise=0.0, seed=0)
+        cfg = space.sample(np.random.default_rng(0))
+        assert land(cfg, 27) < land(cfg, 1)
+
+    def test_optimum_is_lower_bound_region(self):
+        """Random configs should essentially never beat the optimum."""
+        space = candle_mlp_space()
+        land = SurrogateLandscape(space, noise=0.0, seed=0)
+        opt = land.optimum()
+        rng = np.random.default_rng(1)
+        vals = [land(space.sample(rng), 1000) for _ in range(200)]
+        assert min(vals) >= opt - 0.05
+
+    def test_lr_ridge_penalty(self):
+        """Configs at the top of dimension 0 (the lr axis) are penalized."""
+        space = candle_mlp_space()
+        land = SurrogateLandscape(space, noise=0.0, seed=0)
+        u_mid = np.full(len(space), 0.5)
+        u_hot = u_mid.copy()
+        u_hot[0] = 1.0
+        assert land.asymptote(u_hot) > land.asymptote(u_mid)
+
+    def test_counts_evaluations(self):
+        space = candle_mlp_space()
+        land = SurrogateLandscape(space, seed=0)
+        land(space.sample(RNG), 1)
+        land(space.sample(RNG), 1)
+        assert land.evaluations == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateLandscape(candle_mlp_space(), n_basins=0)
+
+
+class TestBenchmarkObjective:
+    def test_returns_finite_loss_for_sane_config(self):
+        obj = benchmark_objective("p1b2", max_samples=120)
+        val = obj({"lr": 1e-3, "hidden1": 32, "hidden2": 16, "dropout": 0.1, "batch_size": 32, "activation": "relu"}, 1)
+        assert np.isfinite(val) and val > 0
+
+    def test_budget_more_epochs_helps(self):
+        obj = benchmark_objective("p1b2", max_samples=160)
+        cfg = {"lr": 1e-3, "hidden1": 64, "hidden2": 32, "dropout": 0.0, "batch_size": 32, "activation": "relu"}
+        assert obj(cfg, 8) < obj(cfg, 1)
+
+    def test_bad_config_returns_inf_not_crash(self):
+        obj = benchmark_objective("p1b2", max_samples=80)
+        # Absurd learning rate: training may diverge; must not raise.
+        val = obj({"lr": 1e6, "hidden1": 16, "hidden2": 8, "dropout": 0.0, "batch_size": 32, "activation": "relu"}, 1)
+        assert val == float("inf") or np.isfinite(val)

@@ -1,0 +1,195 @@
+"""Tests for layer classes (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Activation,
+    AvgPool1D,
+    BatchNorm,
+    Conv1D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    MaxPool1D,
+    Sequential,
+    Tensor,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def built(layer, input_shape, seed=0):
+    layer.build(input_shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = built(Dense(8), (5,))
+        out = layer(Tensor(RNG.standard_normal((3, 5))))
+        assert out.shape == (3, 8)
+
+    def test_output_shape_metadata(self):
+        assert Dense(8).output_shape((5,)) == (8,)
+
+    def test_no_bias(self):
+        layer = built(Dense(4, use_bias=False), (5,))
+        assert len(list(layer.parameters())) == 1
+
+    def test_param_count(self):
+        layer = built(Dense(8), (5,))
+        assert layer.param_count() == 5 * 8 + 8
+
+    def test_activation_applied(self):
+        layer = built(Dense(4, activation="relu"), (3,))
+        out = layer(Tensor(RNG.standard_normal((10, 3))))
+        assert np.all(out.data >= 0)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_deterministic_init(self):
+        a = built(Dense(4), (3,), seed=42)
+        b = built(Dense(4), (3,), seed=42)
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivation:
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Activation("swishy")
+
+    def test_linear_identity(self):
+        x = Tensor(RNG.standard_normal((2, 3)))
+        assert np.array_equal(Activation(None)(x).data, x.data)
+
+    @pytest.mark.parametrize("kind", ["relu", "tanh", "sigmoid", "softmax", "elu", "gelu", "leaky_relu", "softplus"])
+    def test_all_kinds_run(self, kind):
+        out = Activation(kind)(Tensor(RNG.standard_normal((4, 6))))
+        assert out.shape == (4, 6)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestDropout:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_eval_identity(self):
+        layer = built(Dropout(0.5), (10,))
+        x = Tensor(np.ones((4, 10)))
+        assert np.array_equal(layer(x, training=False).data, x.data)
+
+    def test_train_zeroes_some(self):
+        layer = built(Dropout(0.5), (100,))
+        out = layer(Tensor(np.ones((10, 100))), training=True)
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.1)
+
+
+class TestBatchNorm:
+    def test_dense_input(self):
+        layer = built(BatchNorm(), (6,))
+        out = layer(Tensor(RNG.standard_normal((32, 6)) * 4 + 2), training=True)
+        assert np.allclose(out.data.mean(axis=0), 0, atol=1e-7)
+
+    def test_conv_input(self):
+        layer = built(BatchNorm(), (4, 12))
+        out = layer(Tensor(RNG.standard_normal((8, 4, 12))), training=True)
+        assert out.shape == (8, 4, 12)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            built(BatchNorm(), (2, 3, 4, 5))  # 4-D features unsupported
+
+    def test_eval_after_train_is_stable(self):
+        layer = built(BatchNorm(momentum=0.5), (3,))
+        x = RNG.standard_normal((64, 3)) * 2 + 1
+        for _ in range(20):
+            layer(Tensor(x), training=True)
+        out = layer(Tensor(x), training=False)
+        assert np.allclose(out.data.mean(axis=0), 0, atol=0.1)
+
+
+class TestConv1D:
+    def test_valid_padding_shape(self):
+        layer = built(Conv1D(6, 3), (2, 10))
+        out = layer(Tensor(RNG.standard_normal((4, 2, 10))))
+        assert out.shape == (4, 6, 8)
+        assert layer.output_shape((2, 10)) == (6, 8)
+
+    def test_same_padding_shape(self):
+        layer = built(Conv1D(6, 3, padding="same"), (2, 10))
+        out = layer(Tensor(RNG.standard_normal((4, 2, 10))))
+        assert out.shape == (4, 6, 10)
+        assert layer.output_shape((2, 10)) == (6, 10)
+
+    def test_stride_shape(self):
+        layer = built(Conv1D(4, 3, stride=2), (2, 11))
+        assert layer.output_shape((2, 11)) == (4, 5)
+
+    def test_same_with_stride_raises(self):
+        with pytest.raises(ValueError):
+            Conv1D(4, 3, stride=2, padding="same")
+
+    def test_bad_padding_raises(self):
+        with pytest.raises(ValueError):
+            Conv1D(4, 3, padding="full")
+
+
+class TestPoolingLayers:
+    def test_maxpool_shapes(self):
+        layer = MaxPool1D(2)
+        assert layer.output_shape((3, 8)) == (3, 4)
+        out = layer(Tensor(RNG.standard_normal((2, 3, 8))))
+        assert out.shape == (2, 3, 4)
+
+    def test_avgpool_shapes(self):
+        layer = AvgPool1D(2)
+        assert layer.output_shape((3, 8)) == (3, 4)
+
+    def test_flatten(self):
+        layer = Flatten()
+        assert layer.output_shape((3, 4)) == (12,)
+        out = layer(Tensor(RNG.standard_normal((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        layer = built(Embedding(20, 5), ())
+        out = layer(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 5)
+
+    def test_output_shape(self):
+        assert Embedding(10, 4).output_shape((7,)) == (7, 4)
+
+
+class TestLayerNorm:
+    def test_forward(self):
+        layer = built(LayerNorm(), (8,))
+        out = layer(Tensor(RNG.standard_normal((4, 8)) * 5))
+        assert np.allclose(out.data.mean(axis=-1), 0, atol=1e-7)
+
+
+class TestShapeInferenceChain:
+    def test_nt3_like_stack_shapes(self):
+        """Shape metadata must agree with the actual forward pass."""
+        model = Sequential([
+            Conv1D(16, 5),
+            MaxPool1D(2),
+            Conv1D(32, 3),
+            MaxPool1D(2),
+            Flatten(),
+            Dense(10),
+        ])
+        rng = np.random.default_rng(0)
+        model.build((4, 60), rng)
+        shape = (4, 60)
+        for layer in model.layers:
+            shape = layer.output_shape(shape)
+        out = model(Tensor(rng.standard_normal((2, 4, 60))))
+        assert out.shape == (2,) + shape

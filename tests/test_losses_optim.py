@@ -1,0 +1,271 @@
+"""Tests for losses, optimizers, and schedules."""
+
+import numpy as np
+import pytest
+
+import repro.nn.losses as L
+from repro.nn import (
+    SGD,
+    AdaGrad,
+    Adam,
+    CosineAnnealing,
+    ExponentialDecay,
+    RMSProp,
+    ScheduledOptimizer,
+    StepDecay,
+    Tensor,
+    WarmupCosine,
+)
+from repro.nn.schedules import Constant
+
+from helpers import check_grad, numerical_grad
+
+RNG = np.random.default_rng(21)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert L.mse(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_mse_grad(self):
+        t = RNG.standard_normal((4, 2))
+        check_grad(lambda p: L.mse(p, t), RNG.standard_normal((4, 2)))
+
+    def test_mae_grad(self):
+        t = RNG.standard_normal((4, 2))
+        p = RNG.standard_normal((4, 2)) + 3.0  # keep |diff| away from 0
+        check_grad(lambda x: L.mae(x, t), p)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([0.5]))
+        assert L.huber(pred, np.array([0.0]), delta=1.0).item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        assert L.huber(pred, np.array([0.0]), delta=1.0).item() == pytest.approx(2.5)
+
+    def test_huber_grad(self):
+        t = np.zeros((5,))
+        p = np.array([-3.0, -0.5, 0.2, 0.7, 2.5])
+        check_grad(lambda x: L.huber(x, t), p)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        ce = L.cross_entropy(logits, np.array([0, 1]))
+        assert ce.item() == pytest.approx(np.log(4))
+
+    def test_cross_entropy_int_labels_grad(self):
+        labels = np.array([0, 2, 1])
+        check_grad(lambda x: L.cross_entropy(x, labels), RNG.standard_normal((3, 4)))
+
+    def test_cross_entropy_onehot_matches_int(self):
+        logits = RNG.standard_normal((5, 3))
+        labels = np.array([0, 1, 2, 1, 0])
+        onehot = np.eye(3)[labels]
+        a = L.cross_entropy(Tensor(logits), labels).item()
+        b = L.cross_entropy(Tensor(logits), onehot).item()
+        assert a == pytest.approx(b)
+
+    def test_bce_logits_matches_naive(self):
+        x = RNG.standard_normal((20,))
+        y = (RNG.random(20) > 0.5).astype(float)
+        stable = L.binary_cross_entropy_with_logits(Tensor(x), y).item()
+        p = 1 / (1 + np.exp(-x))
+        naive = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert stable == pytest.approx(naive)
+
+    def test_bce_logits_extreme_stable(self):
+        x = np.array([-500.0, 500.0])
+        y = np.array([0.0, 1.0])
+        out = L.binary_cross_entropy_with_logits(Tensor(x), y).item()
+        assert np.isfinite(out) and out < 1e-6
+
+    def test_bce_grad(self):
+        y = (RNG.random(8) > 0.5).astype(float)
+        check_grad(lambda x: L.binary_cross_entropy_with_logits(x, y), RNG.standard_normal(8))
+
+    def test_kl_gaussian_zero_at_standard_normal(self):
+        mu = Tensor(np.zeros((3, 4)), requires_grad=True)
+        lv = Tensor(np.zeros((3, 4)), requires_grad=True)
+        assert L.kl_divergence_gaussian(mu, lv).item() == pytest.approx(0.0)
+
+    def test_kl_gaussian_positive(self):
+        mu = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        lv = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        assert L.kl_divergence_gaussian(mu, lv).item() > 0
+
+    def test_r2_loss_perfect_prediction(self):
+        t = RNG.standard_normal(10)
+        assert L.r2_loss(Tensor(t.copy()), t).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_get_unknown(self):
+        with pytest.raises(ValueError):
+            L.get("nope")
+
+
+def quadratic_params(dim=5, seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.standard_normal(dim)
+    p = Tensor(np.zeros(dim), requires_grad=True)
+    return p, target
+
+
+def run_opt(opt_cls, steps=300, **kwargs):
+    p, target = quadratic_params()
+    opt = opt_cls([p], **kwargs)
+    for _ in range(steps):
+        diff = p - Tensor(target)
+        loss = (diff * diff).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return p.data, target
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        got, want = run_opt(SGD, lr=0.1)
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        got, want = run_opt(SGD, lr=0.05, momentum=0.9)
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_sgd_nesterov_converges(self):
+        got, want = run_opt(SGD, lr=0.05, momentum=0.9, nesterov=True)
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_nesterov_requires_momentum(self):
+        p, _ = quadratic_params()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, nesterov=True)
+
+    def test_adam_converges(self):
+        got, want = run_opt(Adam, lr=0.05, steps=800)
+        assert np.allclose(got, want, atol=1e-3)
+
+    def test_rmsprop_converges(self):
+        got, want = run_opt(RMSProp, lr=0.02, steps=800)
+        assert np.allclose(got, want, atol=1e-2)
+
+    def test_adagrad_converges(self):
+        got, want = run_opt(AdaGrad, lr=0.5, steps=800)
+        assert np.allclose(got, want, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        got_wd, want = run_opt(SGD, lr=0.1, weight_decay=1.0)
+        assert np.linalg.norm(got_wd) < np.linalg.norm(want)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        p, _ = quadratic_params()
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.0)
+
+    def test_skips_none_grads(self):
+        p, _ = quadratic_params()
+        opt = SGD([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()  # no backward happened
+        assert np.array_equal(p.data, before)
+
+    def test_grad_norm_and_clip(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 3.0)
+        opt = SGD([p], lr=0.1)
+        assert opt.grad_norm() == pytest.approx(6.0)
+        opt.clip_grad_norm(3.0)
+        assert opt.grad_norm() == pytest.approx(3.0)
+
+    def test_zero_grad_clears(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.ones(4)
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert Constant(0.1)(100) == 0.1
+
+    def test_step_decay(self):
+        s = StepDecay(1.0, step_size=10, gamma=0.5)
+        assert s(0) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_exponential(self):
+        s = ExponentialDecay(1.0, decay_rate=0.5, decay_steps=10)
+        assert s(10) == pytest.approx(0.5)
+
+    def test_cosine_endpoints(self):
+        s = CosineAnnealing(1.0, total_steps=100, min_lr=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+        assert s(200) == pytest.approx(0.1)  # clamps past the end
+
+    def test_warmup_cosine(self):
+        s = WarmupCosine(1.0, warmup_steps=10, total_steps=110)
+        assert s(0) == pytest.approx(0.1)
+        assert s(9) == pytest.approx(1.0)
+        assert s(110) == pytest.approx(0.0, abs=1e-12)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(1.0, warmup_steps=10, total_steps=5)
+
+    def test_scheduled_optimizer_applies_lr(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = ScheduledOptimizer(SGD([p], lr=999.0), StepDecay(1.0, step_size=1, gamma=0.5))
+        p.grad = np.ones(2)
+        opt.step()
+        assert opt.lr == pytest.approx(1.0)  # step 0 -> lr 1.0
+        p.grad = np.ones(2)
+        opt.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestFocalLoss:
+    def test_reduces_to_scaled_bce_at_gamma_zero(self):
+        logits = RNG.standard_normal(20)
+        y = (RNG.random(20) > 0.5).astype(float)
+        # gamma=0, alpha=0.5: focal = 0.5 * BCE.
+        focal = L.focal_loss_with_logits(Tensor(logits), y, gamma=0.0, alpha=0.5).item()
+        bce = L.binary_cross_entropy_with_logits(Tensor(logits), y).item()
+        assert focal == pytest.approx(0.5 * bce, rel=1e-9)
+
+    def test_downweights_easy_examples(self):
+        """Confident-correct predictions contribute far less under focal
+        loss than under BCE (relative to a hard example)."""
+        easy = np.array([6.0])   # confident positive
+        hard = np.array([0.0])   # uncertain
+        y = np.array([1.0])
+        f_easy = L.focal_loss_with_logits(Tensor(easy), y, gamma=2.0, alpha=0.5).item()
+        f_hard = L.focal_loss_with_logits(Tensor(hard), y, gamma=2.0, alpha=0.5).item()
+        b_easy = L.binary_cross_entropy_with_logits(Tensor(easy), y).item()
+        b_hard = L.binary_cross_entropy_with_logits(Tensor(hard), y).item()
+        assert (f_easy / f_hard) < (b_easy / b_hard) * 0.1
+
+    def test_alpha_weights_positives(self):
+        logits = np.array([0.0])
+        pos = L.focal_loss_with_logits(Tensor(logits), np.array([1.0]), gamma=0.0, alpha=0.9).item()
+        neg = L.focal_loss_with_logits(Tensor(logits), np.array([0.0]), gamma=0.0, alpha=0.9).item()
+        assert pos == pytest.approx(9 * neg, rel=1e-9)
+
+    def test_gradient_finite_and_matches_numeric(self):
+        y = (RNG.random(6) > 0.5).astype(float)
+        x = RNG.standard_normal(6)
+        check_grad(lambda t: L.focal_loss_with_logits(t, y), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            L.focal_loss_with_logits(Tensor(np.zeros(2)), np.zeros(2), gamma=-1)
+        with pytest.raises(ValueError):
+            L.focal_loss_with_logits(Tensor(np.zeros(2)), np.zeros(2), alpha=1.0)
+
+    def test_registered_in_losses(self):
+        assert L.get("focal") is L.focal_loss_with_logits

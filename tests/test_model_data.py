@@ -1,0 +1,389 @@
+"""Tests for Model/Sequential, DataLoader, metrics, and initializers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.init as init
+import repro.nn.metrics as M
+from repro.nn import DataLoader, Dense, Dropout, Sequential, Tensor, shard, train_val_split
+
+RNG = np.random.default_rng(33)
+
+
+def make_regression(n=200, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = (x @ w + 0.05 * rng.standard_normal(n)).reshape(-1, 1)
+    return x, y
+
+
+class TestSequential:
+    def test_fit_reduces_loss(self):
+        x, y = make_regression()
+        m = Sequential([Dense(16, activation="tanh"), Dense(1)])
+        h = m.fit(x, y, epochs=15, batch_size=32, lr=1e-2, seed=0)
+        assert h.series("loss")[-1] < h.series("loss")[0] * 0.2
+
+    def test_fit_reproducible(self):
+        x, y = make_regression()
+        losses = []
+        for _ in range(2):
+            m = Sequential([Dense(8), Dense(1)])
+            h = m.fit(x, y, epochs=3, seed=7)
+            losses.append(h.series("loss"))
+        assert losses[0] == losses[1]
+
+    def test_validation_split(self):
+        x, y = make_regression()
+        m = Sequential([Dense(8), Dense(1)])
+        h = m.fit(x, y, epochs=2, validation_split=0.25, seed=0)
+        assert "val_loss" in h.epochs[0]
+
+    def test_early_stopping_restores_best(self):
+        x, y = make_regression(n=100)
+        m = Sequential([Dense(4), Dense(1)])
+        h = m.fit(x, y, epochs=50, validation_split=0.3, early_stopping_patience=3,
+                  lr=0.5, seed=0)  # big lr so val loss oscillates
+        assert len(h) <= 50
+        val = m.evaluate(x, y)["loss"]
+        assert np.isfinite(val)
+
+    def test_predict_matches_forward(self):
+        x, y = make_regression(n=50)
+        m = Sequential([Dense(4), Dense(1)])
+        m.fit(x, y, epochs=1, seed=0)
+        p1 = m.predict(x, batch_size=16)
+        p2 = m(Tensor(x), training=False).data
+        assert np.allclose(p1, p2)
+
+    def test_get_set_weights_roundtrip(self):
+        x, y = make_regression(n=50)
+        m = Sequential([Dense(4), Dense(1)])
+        m.fit(x, y, epochs=1, seed=0)
+        w = m.get_weights()
+        before = m.predict(x)
+        m.set_weights([np.zeros_like(a) for a in w])
+        assert not np.allclose(m.predict(x), before)
+        m.set_weights(w)
+        assert np.allclose(m.predict(x), before)
+
+    def test_set_weights_shape_mismatch(self):
+        m = Sequential([Dense(4)])
+        m.build((3,), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            m.set_weights([np.zeros((99, 99)), np.zeros(4)])
+
+    def test_set_weights_count_mismatch(self):
+        m = Sequential([Dense(4)])
+        m.build((3,), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            m.set_weights([np.zeros((3, 4))])
+
+    def test_add_after_build_raises(self):
+        m = Sequential([Dense(4)])
+        m.build((3,), np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            m.add(Dense(2))
+
+    def test_param_count(self):
+        m = Sequential([Dense(4), Dense(2)])
+        m.build((3,), np.random.default_rng(0))
+        assert m.param_count() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_summary_mentions_params(self):
+        m = Sequential([Dense(4)])
+        m.build((3,), np.random.default_rng(0))
+        assert "16" in m.summary()
+
+    def test_autoencoder_mode_y_none(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((80, 6))
+        m = Sequential([Dense(3, activation="tanh"), Dense(6)])
+        h = m.fit(x, None, epochs=10, lr=1e-2, seed=0)
+        assert h.series("loss")[-1] < h.series("loss")[0]
+
+    def test_custom_loss_callable(self):
+        x, y = make_regression(n=60)
+        from repro.nn import losses
+        m = Sequential([Dense(1)])
+        h = m.fit(x, y, epochs=2, loss=losses.mae, seed=0)
+        assert len(h) == 2
+
+    def test_metrics_in_history(self):
+        x, y = make_regression(n=60)
+        m = Sequential([Dense(1)])
+        h = m.fit(x, y, epochs=2, validation_split=0.2, metrics=["r2"], seed=0)
+        assert "val_r2" in h.epochs[0]
+
+    def test_dropout_model_eval_deterministic(self):
+        x, y = make_regression(n=60)
+        m = Sequential([Dense(16), Dropout(0.5), Dense(1)])
+        m.fit(x, y, epochs=1, seed=0)
+        assert np.allclose(m.predict(x), m.predict(x))
+
+    def test_history_best(self):
+        x, y = make_regression(n=60)
+        m = Sequential([Dense(1)])
+        h = m.fit(x, y, epochs=5, seed=0)
+        assert h.best("loss") == min(h.series("loss"))
+
+    def test_history_missing_key(self):
+        x, y = make_regression(n=60)
+        m = Sequential([Dense(1)])
+        h = m.fit(x, y, epochs=1, seed=0)
+        with pytest.raises(KeyError):
+            h.best("nope")
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        x = np.arange(25).reshape(25, 1).astype(float)
+        loader = DataLoader(x, x, batch_size=4, shuffle=False)
+        seen = np.concatenate([xb for xb, _ in loader])
+        assert np.array_equal(np.sort(seen.ravel()), np.arange(25))
+
+    def test_len(self):
+        x = np.zeros((25, 1))
+        assert len(DataLoader(x, None, batch_size=4)) == 7
+        assert len(DataLoader(x, None, batch_size=4, drop_last=True)) == 6
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1))
+        loader = DataLoader(x, None, batch_size=3, drop_last=True)
+        sizes = [len(xb) for xb, _ in loader]
+        assert sizes == [3, 3, 3]
+
+    def test_shuffle_changes_order_between_epochs(self):
+        x = np.arange(64).reshape(64, 1).astype(float)
+        loader = DataLoader(x, None, batch_size=64, shuffle=True, rng=np.random.default_rng(0))
+        first = next(iter(loader))[0].ravel().copy()
+        second = next(iter(loader))[0].ravel().copy()
+        assert not np.array_equal(first, second)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 1)), np.zeros((4, 1)))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((5, 1)), None, batch_size=0)
+
+    @given(st.integers(1, 7), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_shard_partition_property(self, extra, world):
+        """Shards are disjoint and cover the dataset exactly."""
+        n = world * 3 + extra
+        x = np.arange(n)
+        parts = [shard(x, None, r, world)[0] for r in range(world)]
+        recon = np.concatenate(parts)
+        assert np.array_equal(recon, x)
+
+    def test_shard_bad_rank(self):
+        with pytest.raises(ValueError):
+            shard(np.zeros(10), None, 5, 4)
+
+    def test_train_val_split_sizes(self):
+        x = np.zeros((100, 2))
+        y = np.zeros(100)
+        xt, yt, xv, yv = train_val_split(x, y, val_frac=0.2, rng=np.random.default_rng(0))
+        assert len(xv) == 20 and len(xt) == 80
+        assert len(yt) == 80 and len(yv) == 20
+
+    def test_train_val_split_bad_frac(self):
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((10, 1)), None, val_frac=1.5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert M.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_onehot_labels(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert M.accuracy(logits, np.eye(2)) == 1.0
+
+    def test_balanced_accuracy_imbalanced(self):
+        # 9 of class 0 predicted right, 1 of class 1 predicted wrong.
+        logits = np.zeros((10, 2))
+        logits[:, 0] = 1.0
+        labels = np.array([0] * 9 + [1])
+        assert M.accuracy(logits, labels) == pytest.approx(0.9)
+        assert M.balanced_accuracy(logits, labels) == pytest.approx(0.5)
+
+    def test_r2_perfect(self):
+        y = RNG.standard_normal(30)
+        assert M.r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = RNG.standard_normal(30)
+        assert M.r2_score(np.full_like(y, y.mean()), y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rmse(self):
+        assert M.rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_pearson_perfect(self):
+        y = RNG.standard_normal(30)
+        assert M.pearson_r(2 * y + 1, y) == pytest.approx(1.0)
+
+    def test_pearson_anticorrelated(self):
+        y = RNG.standard_normal(30)
+        assert M.pearson_r(-y, y) == pytest.approx(-1.0)
+
+    def test_roc_auc_perfect(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert M.roc_auc(scores, labels) == 1.0
+
+    def test_roc_auc_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(2000)
+        labels = rng.integers(0, 2, 2000)
+        assert M.roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_roc_auc_ties(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        assert M.roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_roc_auc_single_class_raises(self):
+        with pytest.raises(ValueError):
+            M.roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_f1(self):
+        preds = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        assert M.f1_score(preds, labels) == pytest.approx(0.5)
+
+    def test_f1_no_positives(self):
+        assert M.f1_score(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_confusion_matrix(self):
+        cm = M.confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), 2)
+        assert cm.tolist() == [[1, 1], [0, 1]]
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("name", ["glorot_uniform", "glorot_normal", "he_uniform", "he_normal", "lecun_normal"])
+    def test_shapes_and_determinism(self, name):
+        fn = init.get(name)
+        a = fn((50, 60), np.random.default_rng(0))
+        b = fn((50, 60), np.random.default_rng(0))
+        assert a.shape == (50, 60)
+        assert np.array_equal(a, b)
+
+    def test_glorot_uniform_bounds(self):
+        w = init.glorot_uniform((100, 100), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_normal_variance(self):
+        w = init.he_normal((400, 300), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.05)
+
+    def test_conv_fans(self):
+        fan_in, fan_out = init._fans((8, 4, 3))
+        assert fan_in == 12 and fan_out == 24
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            init.get("nope")
+
+
+class TestScreeningMetrics:
+    def test_average_precision_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert M.average_precision(scores, labels) == 1.0
+
+    def test_average_precision_worst_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        # Positives at ranks 3,4: AP = (1/3 + 2/4)/2.
+        assert M.average_precision(scores, labels) == pytest.approx((1 / 3 + 0.5) / 2)
+
+    def test_average_precision_random_approaches_base_rate(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(5000)
+        labels = rng.random(5000) < 0.05
+        assert M.average_precision(scores, labels) == pytest.approx(0.05, abs=0.02)
+
+    def test_average_precision_requires_positive(self):
+        with pytest.raises(ValueError):
+            M.average_precision(np.ones(3), np.zeros(3))
+
+    def test_enrichment_factor_perfect(self):
+        from repro.nn.metrics import enrichment_factor
+
+        scores = np.arange(100.0)[::-1]
+        labels = np.zeros(100)
+        labels[:10] = 1  # the 10 top-scored are the hits
+        # Top 10%: all hits -> EF = 1.0 / 0.1 = 10.
+        assert enrichment_factor(scores, labels, 0.1) == pytest.approx(10.0)
+
+    def test_enrichment_factor_random_is_one(self):
+        from repro.nn.metrics import enrichment_factor
+
+        rng = np.random.default_rng(1)
+        scores = rng.random(20000)
+        labels = rng.random(20000) < 0.1
+        assert enrichment_factor(scores, labels, 0.2) == pytest.approx(1.0, abs=0.15)
+
+    def test_enrichment_validation(self):
+        from repro.nn.metrics import enrichment_factor
+
+        with pytest.raises(ValueError):
+            enrichment_factor(np.ones(3), np.ones(3), fraction=0.0)
+        with pytest.raises(ValueError):
+            enrichment_factor(np.ones(3), np.zeros(3))
+
+
+class TestGradAccumulation:
+    def test_equivalent_to_large_batch_under_sgd(self):
+        """batch B with k-step accumulation == batch k*B, exactly, for
+        plain SGD (the gradients are averaged identically)."""
+        from repro.nn import SGD
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 6))
+        y = (x @ rng.standard_normal(6)).reshape(-1, 1)
+
+        def run(batch, accum):
+            m = Sequential([Dense(4), Dense(1)])
+            m.build((6,), np.random.default_rng(3))
+            opt = SGD(m.parameters(), lr=0.05)
+            m.fit(x, y, epochs=3, batch_size=batch, optimizer=opt, seed=1,
+                  grad_accumulation=accum)
+            return m.predict(x)
+
+        assert np.allclose(run(32, 1), run(16, 2), atol=1e-12)
+
+    def test_trailing_partial_window_flushed(self):
+        """Dataset not divisible by the window: the leftover gradient must
+        still be applied (weights change)."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((10, 3))
+        y = (x @ np.ones(3)).reshape(-1, 1)
+        m = Sequential([Dense(1)])
+        m.build((3,), np.random.default_rng(0))
+        before = m.get_weights()
+        # 10 samples, batch 10 -> one batch per epoch, accumulation 4:
+        # the only window is partial and must flush.
+        m.fit(x, y, epochs=1, batch_size=10, seed=0, grad_accumulation=4)
+        after = m.get_weights()
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_still_converges(self):
+        x, y = make_regression(n=120)
+        m = Sequential([Dense(8, activation="tanh"), Dense(1)])
+        h = m.fit(x, y, epochs=15, batch_size=8, lr=1e-2, seed=0, grad_accumulation=4)
+        assert h.series("loss")[-1] < h.series("loss")[0] * 0.3
+
+    def test_validation(self):
+        x, y = make_regression(n=20)
+        m = Sequential([Dense(1)])
+        with pytest.raises(ValueError):
+            m.fit(x, y, epochs=1, grad_accumulation=0)

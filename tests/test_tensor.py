@@ -1,0 +1,339 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, ones, stack, tensor, unbroadcast, zeros
+
+from helpers import check_grad, check_grad_multi
+
+RNG = np.random.default_rng(1234)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert not t.requires_grad
+
+    def test_requires_grad_needs_float(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_factories(self):
+        assert zeros((2, 3)).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert tensor([1.0, 2.0], dtype=np.float32).dtype == np.float32
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+        assert d._parents == ()
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_item_scalar_only(self):
+        assert Tensor([3.5]).item() == 3.5
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_grad_multi(lambda a, b: a + b, [RNG.standard_normal((3, 4)), RNG.standard_normal((3, 4))])
+
+    def test_add_broadcast(self):
+        check_grad_multi(lambda a, b: a + b, [RNG.standard_normal((3, 4)), RNG.standard_normal(4)])
+
+    def test_sub(self):
+        check_grad_multi(lambda a, b: a - b, [RNG.standard_normal((2, 3)), RNG.standard_normal((2, 3))])
+
+    def test_rsub_scalar(self):
+        check_grad(lambda a: 5.0 - a, RNG.standard_normal((2, 3)))
+
+    def test_mul(self):
+        check_grad_multi(lambda a, b: a * b, [RNG.standard_normal((3, 4)), RNG.standard_normal((3, 4))])
+
+    def test_mul_broadcast_scalar_shape(self):
+        check_grad_multi(lambda a, b: a * b, [RNG.standard_normal((3, 4)), RNG.standard_normal((1, 4))])
+
+    def test_div(self):
+        b = RNG.standard_normal((3, 3)) + 3.0  # away from zero
+        check_grad_multi(lambda a, c: a / c, [RNG.standard_normal((3, 3)), b])
+
+    def test_rdiv(self):
+        x = RNG.standard_normal((4,)) + 2.5
+        check_grad(lambda a: 2.0 / a, x)
+
+    def test_neg(self):
+        check_grad(lambda a: -a, RNG.standard_normal((2, 5)))
+
+    def test_pow(self):
+        x = np.abs(RNG.standard_normal((3, 3))) + 0.5
+        check_grad(lambda a: a ** 3.0, x)
+
+    def test_pow_half(self):
+        x = np.abs(RNG.standard_normal((5,))) + 1.0
+        check_grad(lambda a: a ** 0.5, x)
+
+    def test_matmul_2d(self):
+        check_grad_multi(lambda a, b: a @ b, [RNG.standard_normal((3, 4)), RNG.standard_normal((4, 2))])
+
+    def test_matmul_vec_right(self):
+        check_grad_multi(lambda a, b: a @ b, [RNG.standard_normal((3, 4)), RNG.standard_normal(4)])
+
+    def test_matmul_vec_left(self):
+        check_grad_multi(lambda a, b: a @ b, [RNG.standard_normal(3), RNG.standard_normal((3, 4))])
+
+    def test_matmul_inner(self):
+        check_grad_multi(lambda a, b: a @ b, [RNG.standard_normal(5), RNG.standard_normal(5)])
+
+    def test_matmul_batched(self):
+        check_grad_multi(lambda a, b: a @ b, [RNG.standard_normal((2, 3, 4)), RNG.standard_normal((2, 4, 5))])
+
+    def test_chain_rule_diamond(self):
+        # y = x*x used twice downstream: gradients must accumulate.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x
+        z = y + y
+        z.backward(np.array([1.0]))
+        assert np.allclose(x.grad, [8.0])  # d/dx 2x^2 = 4x
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_grad(lambda a: a.sum(), RNG.standard_normal((3, 4)))
+
+    def test_sum_axis0(self):
+        check_grad(lambda a: a.sum(axis=0), RNG.standard_normal((3, 4)))
+
+    def test_sum_axis_keepdims(self):
+        check_grad(lambda a: a.sum(axis=1, keepdims=True), RNG.standard_normal((3, 4)))
+
+    def test_sum_negative_axis(self):
+        check_grad(lambda a: a.sum(axis=-1), RNG.standard_normal((2, 3, 4)))
+
+    def test_sum_tuple_axis(self):
+        check_grad(lambda a: a.sum(axis=(0, 2)), RNG.standard_normal((2, 3, 4)))
+
+    def test_mean(self):
+        check_grad(lambda a: a.mean(), RNG.standard_normal((4, 4)))
+
+    def test_mean_axis(self):
+        check_grad(lambda a: a.mean(axis=1), RNG.standard_normal((4, 5)))
+
+    def test_var(self):
+        check_grad(lambda a: a.var(axis=0), RNG.standard_normal((6, 3)))
+
+    def test_max_all(self):
+        x = RNG.standard_normal((3, 4))
+        check_grad(lambda a: a.max(), x)
+
+    def test_max_axis(self):
+        x = RNG.standard_normal((3, 4))
+        check_grad(lambda a: a.max(axis=1), x)
+
+    def test_min(self):
+        x = RNG.standard_normal((3, 4))
+        check_grad(lambda a: a.min(axis=0), x)
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor(np.array([[1.0, 1.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_argmax_not_differentiable(self):
+        t = Tensor(np.array([[0.1, 0.9]]))
+        assert t.argmax(axis=1)[0] == 1
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_grad(lambda a: a.reshape(6, 2), RNG.standard_normal((3, 4)))
+
+    def test_reshape_infer(self):
+        check_grad(lambda a: a.reshape(-1), RNG.standard_normal((3, 4)))
+
+    def test_flatten(self):
+        check_grad(lambda a: a.flatten(), RNG.standard_normal((2, 3, 4)))
+
+    def test_transpose_default(self):
+        check_grad(lambda a: a.T, RNG.standard_normal((3, 4)))
+
+    def test_transpose_axes(self):
+        check_grad(lambda a: a.transpose(2, 0, 1), RNG.standard_normal((2, 3, 4)))
+
+    def test_getitem_slice(self):
+        check_grad(lambda a: a[1:3], RNG.standard_normal((5, 2)))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_grad(lambda a: a[idx], RNG.standard_normal((4, 3)))
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        y = x[np.array([0, 0, 1])]
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 1.0, 0.0])
+
+    def test_concatenate(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((4, 3))
+        check_grad_multi(lambda x, y: concatenate([x, y], axis=0), [a, b])
+
+    def test_concatenate_axis1(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((2, 5))
+        check_grad_multi(lambda x, y: concatenate([x, y], axis=1), [a, b])
+
+    def test_stack(self):
+        a = RNG.standard_normal((2, 3))
+        b = RNG.standard_normal((2, 3))
+        check_grad_multi(lambda x, y: stack([x, y], axis=0), [a, b])
+
+    def test_astype_roundtrip_grad(self):
+        x = Tensor(RNG.standard_normal((3,)), requires_grad=True)
+        y = x.astype(np.float32).astype(np.float64)
+        y.sum().backward()
+        assert x.grad.dtype == np.float64
+        assert np.allclose(x.grad, 1.0)
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(RNG.standard_normal((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 3).sum().backward()
+        (x * 3).sum().backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 3).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_context(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_nesting_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            x = Tensor(np.array([1.0]), requires_grad=True)
+            assert not x.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_comparison_produces_bool(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert (a > 2.0).data.tolist() == [False, True]
+        assert (a <= 1.0).data.tolist() == [True, False]
+
+
+class TestUnbroadcast:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+               elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unbroadcast_inverts_broadcast_sum(self, small):
+        """For any array, broadcasting to a larger shape then unbroadcasting
+        a ones-gradient must give the multiplicity of each element."""
+        big_shape = (3,) + small.shape
+        g = np.ones(big_shape)
+        reduced = unbroadcast(g, small.shape)
+        assert reduced.shape == small.shape
+        assert np.allclose(reduced, 3.0)
+
+    def test_unbroadcast_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_unbroadcast_stretched_axis(self):
+        g = np.ones((4, 5))
+        out = unbroadcast(g, (4, 1))
+        assert out.shape == (4, 1)
+        assert np.allclose(out, 5.0)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_add_grad_matches_numeric(self, m, n):
+        a = RNG.standard_normal((m, n))
+        b = RNG.standard_normal((n,))
+        check_grad_multi(lambda x, y: x + y, [a, b])
+
+
+class TestEdgeCases:
+    def test_getitem_boolean_mask_grad(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0, 4.0]), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        x[mask].sum().backward()
+        assert np.allclose(x.grad, [1.0, 0.0, 1.0, 0.0])
+
+    def test_scalar_tensor_arithmetic(self):
+        a = Tensor(np.array(3.0), requires_grad=True)
+        (a * a).backward()
+        assert np.allclose(a.grad, 6.0)
+
+    def test_zero_size_batch_forward(self):
+        from repro.nn import Dense, Sequential
+
+        m = Sequential([Dense(4)])
+        m.build((3,), np.random.default_rng(0))
+        out = m(Tensor(np.zeros((0, 3))))
+        assert out.shape == (0, 4)
+
+    def test_mixed_dtype_coercion(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        out = a + 1  # python int coerced to the tensor's dtype
+        assert out.dtype == np.float32
+
+    def test_repeated_subexpression_graph(self):
+        """A node used by three consumers accumulates all three gradients."""
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3
+        z = y + y + y
+        z.sum().backward()
+        assert np.allclose(x.grad, [9.0])
+
+    def test_grad_through_concatenate_of_self(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = concatenate([x, x], axis=0)
+        out.sum().backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_float32_end_to_end_training(self):
+        """The engine must train entirely in float32 storage too."""
+        from repro.nn import Dense, Sequential
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 4)).astype(np.float32)
+        y = (x @ np.ones(4, dtype=np.float32)).reshape(-1, 1)
+        m = Sequential([Dense(8, activation="tanh", dtype=np.float32),
+                        Dense(1, dtype=np.float32)])
+        h = m.fit(x, y, epochs=10, lr=1e-2, seed=0)
+        assert h.series("loss")[-1] < h.series("loss")[0]

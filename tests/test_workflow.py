@@ -1,0 +1,171 @@
+"""Tests for end-to-end workflows (repro.workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.candle import build_p1b2_classifier
+from repro.datasets import make_rugged_landscape, make_tumor_expression
+from repro.hpc import DataParallel, SimCluster, SingleNode
+from repro.workflow import (
+    NoveltyModel,
+    TrainingReport,
+    compare_strategies,
+    run_sampling_campaign,
+    run_training_job,
+    simulated_trial_cost,
+    time_to_loss,
+)
+
+
+@pytest.fixture(scope="module")
+def tumor_data():
+    return make_tumor_expression(n_samples=150, n_genes=60, n_classes=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return SimCluster.build("summit_era", 8)
+
+
+class TestTrainingJob:
+    def test_report_fields_consistent(self, tumor_data, cluster):
+        m = build_p1b2_classifier(4, hidden=(16,), dropout=0.0)
+        rep = run_training_job(
+            m, tumor_data.x, tumor_data.y, cluster, DataParallel(8), "fp32",
+            epochs=2, loss="cross_entropy",
+        )
+        assert rep.sim_step_time > 0
+        assert rep.sim_epoch_time > rep.sim_step_time
+        assert rep.sim_total_time == pytest.approx(rep.sim_epoch_time * len(rep.history))
+        assert rep.energy_joules > 0
+        assert np.isfinite(rep.final_loss)
+
+    def test_profile_matches_model(self, tumor_data, cluster):
+        m = build_p1b2_classifier(4, hidden=(16,), dropout=0.0)
+        rep = run_training_job(m, tumor_data.x, tumor_data.y, cluster, epochs=1, loss="cross_entropy")
+        assert rep.profile.params == m.param_count()
+
+    def test_infeasible_plan_raises(self, tumor_data):
+        # A node with essentially no memory.
+        from repro.hpc.hardware import AcceleratorSpec, MemoryTier, NodeSpec
+        from repro.hpc.network import LinkSpec, Network
+        from repro.hpc.topology import Ring
+
+        tiny = NodeSpec(
+            name="tiny",
+            accelerator=AcceleratorSpec("t", {"fp32": 1e12}, 1e11, mem_capacity=1.0),
+            tiers=(MemoryTier("hbm", 1.0, 1e11, 1e-7, 10.0),),
+        )
+        cl = SimCluster(node=tiny, network=Network(Ring(1), LinkSpec()))
+        m = build_p1b2_classifier(4, hidden=(16,), dropout=0.0)
+        with pytest.raises(ValueError, match="does not fit"):
+            run_training_job(m, tumor_data.x, tumor_data.y, cl, epochs=1, loss="cross_entropy")
+
+    def test_fp16_cheaper_than_fp32(self, tumor_data, cluster):
+        reports = {}
+        for prec in ("fp32", "fp16"):
+            m = build_p1b2_classifier(4, hidden=(32, 16), dropout=0.0)
+            reports[prec] = run_training_job(
+                m, tumor_data.x, tumor_data.y, cluster, SingleNode(), prec,
+                epochs=1, loss="cross_entropy",
+            )
+        assert reports["fp16"].sim_step_time < reports["fp32"].sim_step_time
+
+    def test_time_to_loss(self, tumor_data, cluster):
+        m = build_p1b2_classifier(4, hidden=(32,), dropout=0.0)
+        rep = run_training_job(
+            m, tumor_data.x, tumor_data.y, cluster, epochs=8, loss="cross_entropy", lr=1e-3
+        )
+        losses = rep.history.series("loss")
+        mid = (losses[0] + losses[-1]) / 2
+        t = time_to_loss(rep, mid)
+        assert t is not None and 0 < t <= rep.sim_total_time
+        assert time_to_loss(rep, -1.0) is None
+
+    def test_time_to_loss_bare_history_requires_epoch_time(self, tumor_data, cluster):
+        m = build_p1b2_classifier(4, hidden=(8,), dropout=0.0)
+        rep = run_training_job(m, tumor_data.x, tumor_data.y, cluster, epochs=1, loss="cross_entropy")
+        with pytest.raises(ValueError):
+            time_to_loss(rep.history, 0.1)
+
+
+class TestSimulatedTrialCost:
+    def test_wider_config_costs_more(self, cluster):
+        cost = simulated_trial_cost("p1b2", cluster)
+        small = cost({"hidden1": 16, "hidden2": 8, "batch_size": 32}, 1)
+        big = cost({"hidden1": 512, "hidden2": 256, "batch_size": 32}, 1)
+        assert big > small
+
+    def test_budget_scales_cost(self, cluster):
+        cost = simulated_trial_cost("p1b2", cluster)
+        cfg = {"hidden1": 64, "hidden2": 32, "batch_size": 32}
+        assert cost(cfg, 4) == pytest.approx(4 * cost(cfg, 1))
+
+    def test_positive(self, cluster):
+        cost = simulated_trial_cost("p1b2", cluster)
+        assert cost({}, 1) > 0
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return make_rugged_landscape(n_wells=10, extent=6.0, min_separation=1.8, seed=1)
+
+
+class TestNoveltyModel:
+    def test_flags_unvisited_regions(self, landscape):
+        rng = np.random.default_rng(0)
+        visited = rng.normal(0.0, 0.5, size=(300, 2))  # cluster at origin
+        model = NoveltyModel(dim=2, epochs=80).fit(visited, seed=0)
+        near = model.novelty(np.array([[0.0, 0.0], [0.2, -0.1]]))
+        far = model.novelty(np.array([[5.0, 5.0], [-5.0, 4.0]]))
+        assert far.min() > near.max()
+
+    def test_novelty_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NoveltyModel(dim=2).novelty(np.zeros((1, 2)))
+
+
+class TestSamplingCampaign:
+    def test_validation(self, landscape):
+        with pytest.raises(ValueError):
+            run_sampling_campaign(landscape, strategy="magic")
+        with pytest.raises(ValueError):
+            run_sampling_campaign(landscape, n_rounds=0)
+
+    def test_result_shape(self, landscape):
+        res = run_sampling_campaign(
+            landscape, "uniform", n_rounds=2, trajectories_per_round=3,
+            steps_per_trajectory=100, seed=0,
+        )
+        assert res.trajectories_run == 6
+        assert len(res.coverage_curve) == 2
+        assert res.samples.shape[1] == 2
+        assert res.final_coverage == res.coverage_curve[-1]
+
+    def test_coverage_monotone(self, landscape):
+        res = run_sampling_campaign(
+            landscape, "uniform", n_rounds=4, trajectories_per_round=4,
+            steps_per_trajectory=100, seed=1,
+        )
+        assert all(b >= a for a, b in zip(res.coverage_curve, res.coverage_curve[1:]))
+
+    def test_reproducible(self, landscape):
+        a = run_sampling_campaign(landscape, "uniform", n_rounds=2, trajectories_per_round=2, seed=3)
+        b = run_sampling_campaign(landscape, "uniform", n_rounds=2, trajectories_per_round=2, seed=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_adaptive_beats_replica(self, landscape):
+        """The DL-supervised sampler must dominate the no-supervision
+        (restart-from-endpoint) baseline (claim C3)."""
+        res = compare_strategies(
+            landscape, n_rounds=5, trajectories_per_round=3, seeds=range(3),
+            steps_per_trajectory=150, temperature=0.15,
+        )
+        assert res["adaptive"] > res["replica"]
+
+    def test_adaptive_at_least_matches_uniform(self, landscape):
+        res = compare_strategies(
+            landscape, n_rounds=6, trajectories_per_round=3, seeds=range(3),
+            steps_per_trajectory=150, temperature=0.15, extent=7.0,
+        )
+        assert res["adaptive"] >= res["uniform"] - 0.05
