@@ -82,6 +82,7 @@ class WorkerPool:
         self.n_workers = n_workers
         self._free: List[int] = list(range(n_workers))
         self._backlog: List[Tuple[float, Callable[[int], None]]] = []
+        self._dead: set = set()
         self.busy_time = 0.0
 
     def submit(self, duration: float, on_done: Callable[[int], None]) -> None:
@@ -97,6 +98,8 @@ class WorkerPool:
 
         def finish() -> None:
             on_done(worker)
+            if worker in self._dead:
+                return  # a failed worker neither drains the backlog nor idles
             if self._backlog:
                 next_duration, next_done = self._backlog.pop(0)
                 self._start(worker, next_duration, next_done)
@@ -104,6 +107,30 @@ class WorkerPool:
                 self._free.append(worker)
 
         self.loop.schedule(duration, finish)
+
+    def fail_worker(self) -> Optional[int]:
+        """Permanently remove one worker from the pool (node loss).
+
+        An idle worker leaves immediately; otherwise a busy worker is
+        marked and leaves when its current job completes (the job itself
+        is not killed — job crashes are the scheduler's fault model).
+        Refuses to kill the last live worker; returns the failed worker
+        id, or None if the pool is already down to one.
+        """
+        if self.n_alive <= 1:
+            return None
+        if self._free:
+            worker = self._free.pop()
+            self._dead.add(worker)
+            return worker
+        busy = [w for w in range(self.n_workers) if w not in self._dead and w not in self._free]
+        worker = busy[-1]
+        self._dead.add(worker)
+        return worker
+
+    @property
+    def n_alive(self) -> int:
+        return self.n_workers - len(self._dead)
 
     @property
     def idle_workers(self) -> int:

@@ -79,11 +79,16 @@ def expected_runtime(
     # Time to complete one segment including checkpoint, accounting for
     # failures that force segment re-execution (memoryless retries).
     seg = interval + checkpoint_time
-    # Probability a failure hits during a segment attempt.
-    p_fail = 1.0 - math.exp(-seg / mtbf)
+    # Survival probability of one attempt.  exp underflows to exactly 0.0
+    # once seg/mtbf > ~745 (a segment hundreds of MTBFs long), which would
+    # make the expected-attempts ratio divide by zero; clamp to the
+    # smallest positive double so the deep failure-dominated regime
+    # returns a finite (astronomically large) expectation instead.
+    p_survive = max(math.exp(-seg / mtbf), 1e-300)
+    p_fail = 1.0 - p_survive
     # Expected attempts per segment = 1/(1-p); each failed attempt costs on
     # average half the segment plus the restart.
-    expected_per_segment = seg + (p_fail / (1.0 - p_fail)) * (seg / 2.0 + restart_time)
+    expected_per_segment = seg + (p_fail / p_survive) * (seg / 2.0 + restart_time)
     return n_segments * expected_per_segment
 
 

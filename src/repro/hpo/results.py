@@ -29,10 +29,16 @@ class Trial:
 
 
 class ResultLog:
-    """Append-only record of trials with best-so-far queries."""
+    """Append-only record of trials with best-so-far queries.
+
+    ``stats`` is populated by the parallel scheduler with execution
+    bookkeeping (failures, retries, quarantined trials, workers lost) —
+    the campaign's graceful-degradation ledger.
+    """
 
     def __init__(self) -> None:
         self.trials: List[Trial] = []
+        self.stats: Dict[str, int] = {}
 
     def add(self, trial: Trial) -> None:
         self.trials.append(trial)

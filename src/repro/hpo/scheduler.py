@@ -4,15 +4,23 @@ The parallel scheduler runs a strategy over a :class:`WorkerPool` inside
 the discrete-event loop, with a per-trial *simulated duration* from a cost
 model — so E6 can measure time-to-accuracy against worker count, sync vs
 async, on any simulated cluster without burning real compute.
+
+Both schedulers degrade gracefully under the
+:class:`repro.resilience.FaultInjector` fault model: crashed trials are
+retried with optional exponential backoff, stragglers stretch their
+slot, NaN objective values are quarantined (penalized, never fatal), and
+permanent worker loss shrinks the pool — the campaign always completes
+and reports what it survived via ``log.stats``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..hpc.events import EventLoop, WorkerPool
+from ..resilience.faults import CRASH, NAN, STRAGGLER, WORKER_LOSS, FaultInjector
 from .results import ResultLog, Trial
 from .space import Config
 from .strategies.base import Strategy, Suggestion
@@ -59,6 +67,15 @@ def constant_cost(seconds: float = 1.0) -> CostModel:
     return model
 
 
+def _quarantine(value: float, stats: Dict[str, int]) -> float:
+    """NaN objective values are penalized, never propagated: a diverged
+    trial must not crash the campaign or poison the strategy's model."""
+    if np.isnan(value):
+        stats["quarantined"] += 1
+        return float("inf")
+    return value
+
+
 def run_parallel(
     strategy: Strategy,
     objective: Objective,
@@ -69,6 +86,8 @@ def run_parallel(
     failure_rate: float = 0.0,
     max_retries: int = 3,
     failure_seed: int = 0,
+    injector: Optional[FaultInjector] = None,
+    retry_backoff: float = 0.0,
 ) -> ResultLog:
     """Run the search on ``n_workers`` simulated workers.
 
@@ -77,15 +96,26 @@ def run_parallel(
 
     sync: workers proceed in barriers of ``n_workers`` suggestions; the
     strategy only sees results at barrier boundaries (the BSP regime whose
-    stragglers E6 quantifies).
+    stragglers E6 quantifies).  A trial's ``sim_time`` is the barrier it
+    landed at — the moment its result became visible, matching the async
+    path where ``sim_time`` is the completion event.
 
-    failure injection: each trial execution independently crashes with
-    probability ``failure_rate`` (node failure mid-trial).  A crashed
-    trial burns its full simulated duration, then is resubmitted, up to
-    ``max_retries`` attempts; a trial that exhausts its retries is
-    reported to the strategy as ``inf`` (the campaign completes
-    regardless).  Only the async scheduler injects failures — sync-mode
-    campaigns would simply restart the whole wave.
+    Fault model — two sources, identical recovery semantics in both
+    scheduling modes:
+
+    * legacy ``failure_rate``: each execution independently crashes with
+      that probability (drawn from ``failure_seed``);
+    * a :class:`~repro.resilience.FaultInjector`: deterministic per
+      (trial, attempt) crash / straggler / NaN faults, plus permanent
+      worker loss at scheduled times (the pool shrinks; in sync mode
+      later waves are narrower).
+
+    A crashed attempt burns its full simulated duration, then is
+    resubmitted after ``retry_backoff * 2**attempt`` simulated seconds,
+    up to ``max_retries`` retries; exhausted trials are reported to the
+    strategy as ``inf``.  NaN objective values are quarantined the same
+    way.  The returned log's ``stats`` dict records failures, retries,
+    quarantined trials, and workers lost.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -95,59 +125,127 @@ def run_parallel(
         raise ValueError("failure_rate must be in [0, 1)")
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
+    if retry_backoff < 0:
+        raise ValueError("retry_backoff must be >= 0")
     failure_rng = np.random.default_rng(failure_seed)
     cost = cost_model or constant_cost()
     log = ResultLog()
     loop = EventLoop()
+    stats = log.stats
+    stats.update({"failures": 0, "retries": 0, "quarantined": 0, "workers_lost": 0})
+
+    def attempt_fault(tid: int, attempt: int) -> Optional[str]:
+        """Fault for one execution attempt, from whichever source is on."""
+        if injector is not None:
+            return injector.trial_fault(tid, attempt)
+        if failure_rate > 0 and failure_rng.random() < failure_rate:
+            return CRASH
+        return None
+
+    straggler_factor = injector.spec.straggler_factor if injector is not None else 1.0
+    loss_times = sorted(injector.worker_loss_times) if injector is not None else []
 
     if sync:
         launched = 0
+        alive = n_workers
+        pending_losses = list(loss_times)
         while launched < n_trials:
-            batch = []
-            for _ in range(min(n_workers, n_trials - launched)):
+            # Permanent node losses that have occurred shrink the wave.
+            while pending_losses and pending_losses[0] <= loop.now and alive > 1:
+                pending_losses.pop(0)
+                alive -= 1
+                stats["workers_lost"] += 1
+                injector.record(WORKER_LOSS)
+            batch: List[Suggestion] = []
+            for _ in range(min(alive, n_trials - launched)):
                 sug = strategy.ask()
                 if sug is None:
                     break
                 batch.append(sug)
             if not batch:
                 break
-            # The barrier: the whole wave costs as long as its slowest trial.
-            durations = [cost(s.config, s.budget) for s in batch]
-            wave_time = max(durations)
-            for worker_id, (sug, dur) in enumerate(zip(batch, durations)):
-                value = objective(sug.config, sug.budget)
-                loop.now += 0  # time accounting below
+            # Each slot runs its trial to completion (crashes burn the
+            # attempt and retry in place); the barrier waits for the
+            # slowest slot, so one failing straggler stalls the wave —
+            # the BSP cost the async scheduler avoids.
+            outcomes = []
+            slot_times = []
+            for slot, sug in enumerate(batch):
+                tid = launched + slot
+                duration = cost(sug.config, sug.budget)
+                elapsed = 0.0
+                attempt = 0
+                while True:
+                    kind = attempt_fault(tid, attempt)
+                    burn = duration * (straggler_factor if kind == STRAGGLER else 1.0)
+                    elapsed += burn
+                    if kind == CRASH:
+                        stats["failures"] += 1
+                        if attempt < max_retries:
+                            attempt += 1
+                            stats["retries"] += 1
+                            elapsed += retry_backoff * (2.0 ** (attempt - 1))
+                            continue
+                        value = float("inf")
+                    elif kind == NAN:
+                        stats["quarantined"] += 1
+                        value = float("inf")
+                    else:
+                        value = _quarantine(objective(sug.config, sug.budget), stats)
+                    break
+                outcomes.append((sug, value, slot))
+                slot_times.append(elapsed)
+            loop.now += max(slot_times)
+            # The barrier: results land, the strategy learns, all at once.
+            for sug, value, slot in outcomes:
+                strategy.tell(sug, value)
                 log.add(
                     Trial(
                         trial_id=launched, config=sug.config, value=value,
-                        budget=sug.budget, sim_time=loop.now + wave_time, worker=worker_id,
+                        budget=sug.budget, sim_time=loop.now, worker=slot,
                     )
                 )
-                strategy.tell(sug, value)
                 launched += 1
-            loop.now += wave_time
         return log
 
     pool = WorkerPool(loop, n_workers)
-    state = {"launched": 0, "completed": 0, "failures": 0}
+    state = {"launched": 0, "completed": 0}
 
-    def submit(sug, tid: int, attempt: int) -> None:
+    for t in loss_times:
+        def lose_one() -> None:
+            if pool.fail_worker() is not None:
+                stats["workers_lost"] += 1
+                injector.record(WORKER_LOSS)
+
+        loop.schedule_at(t, lose_one)
+
+    def submit(sug, tid: int, attempt: int, delay: float = 0.0) -> None:
+        kind = attempt_fault(tid, attempt)
         duration = cost(sug.config, sug.budget)
+        if kind == STRAGGLER:
+            duration *= straggler_factor
 
-        def on_done(worker_id: int, sug=sug, tid=tid, attempt=attempt) -> None:
-            crashed = failure_rate > 0 and failure_rng.random() < failure_rate
-            if crashed and attempt < max_retries:
-                state["failures"] += 1
-                submit(sug, tid, attempt + 1)  # resubmit; queues if all busy
+        def on_done(worker_id: int, sug=sug, tid=tid, attempt=attempt, kind=kind) -> None:
+            if kind == CRASH and attempt < max_retries:
+                stats["failures"] += 1
+                stats["retries"] += 1
+                backoff = retry_backoff * (2.0 ** attempt)
+                if backoff > 0:
+                    loop.schedule(backoff, lambda: submit(sug, tid, attempt + 1))
+                else:
+                    submit(sug, tid, attempt + 1)  # resubmit; queues if all busy
                 # This completion still frees a slot for other pending work.
                 while pool.idle_workers > 0 and launch_one():
                     pass
                 return
-            if crashed:
-                state["failures"] += 1
+            if kind == CRASH:
+                stats["failures"] += 1
                 value = float("inf")  # retries exhausted
+            elif kind == NAN:
+                stats["quarantined"] += 1
+                value = float("inf")  # quarantined, not fatal
             else:
-                value = objective(sug.config, sug.budget)
+                value = _quarantine(objective(sug.config, sug.budget), stats)
             strategy.tell(sug, value)
             log.add(
                 Trial(
@@ -165,7 +263,10 @@ def run_parallel(
             while pool.idle_workers > 0 and launch_one():
                 pass
 
-        pool.submit(duration, on_done)
+        if delay > 0:
+            loop.schedule(delay, lambda: pool.submit(duration, on_done))
+        else:
+            pool.submit(duration, on_done)
 
     def launch_one() -> bool:
         if state["launched"] >= n_trials:

@@ -13,7 +13,17 @@ from . import metrics
 from . import optim
 from . import schedules
 from . import serialization
-from .serialization import load_checkpoint, load_weights, save_checkpoint, save_weights
+from .serialization import (
+    atomic_savez,
+    load_checkpoint,
+    load_training_state,
+    load_weights,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+    save_training_state,
+    save_weights,
+)
 from .dataloader import DataLoader, shard, train_val_split
 from .layers import (
     Activation,
@@ -58,4 +68,5 @@ __all__ = [
     "WarmupCosine", "ScheduledOptimizer",
     "DataLoader", "shard", "train_val_split",
     "serialization", "save_weights", "load_weights", "save_checkpoint", "load_checkpoint",
+    "save_training_state", "load_training_state", "atomic_savez", "rng_state", "restore_rng",
 ]

@@ -3,11 +3,20 @@
 Long CANDLE-style campaigns checkpoint between hyperparameter-search
 rungs (Hyperband promotions resume training) and across job boundaries;
 this module provides that persistence for any :class:`repro.nn.Model`.
+
+:func:`save_training_state` / :func:`load_training_state` extend the
+basic checkpoint with everything a *resumable* training loop needs —
+epoch/step cursor, data-order RNG state, epoch permutation, history —
+written atomically (write-tmp-then-rename) so a crash mid-write can
+never leave a truncated checkpoint behind (the resilience runtime in
+:mod:`repro.resilience` restarts from these).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -44,6 +53,87 @@ def load_weights(model: Model, path: Union[str, Path]) -> Dict:
     return meta["metadata"]
 
 
+def _pack_optimizer(optimizer: Optional[Optimizer], arrays: Dict[str, np.ndarray]) -> Dict:
+    """Append optimizer moment arrays to ``arrays``; return the JSON header."""
+    opt_state: Dict = {"type": None}
+    if optimizer is not None:
+        opt_state["type"] = type(optimizer).__name__
+        opt_state["lr"] = optimizer.lr
+        opt_state["step_count"] = optimizer.step_count
+        params = optimizer.params
+        if isinstance(optimizer, Adam):
+            for i, p in enumerate(params):
+                if id(p) in optimizer._m:
+                    arrays[f"adam_m_{i:04d}"] = optimizer._m[id(p)]
+                    arrays[f"adam_v_{i:04d}"] = optimizer._v[id(p)]
+        elif isinstance(optimizer, RMSProp):
+            for i, p in enumerate(params):
+                if id(p) in optimizer._sq:
+                    arrays[f"rms_sq_{i:04d}"] = optimizer._sq[id(p)]
+        elif isinstance(optimizer, SGD) and optimizer.momentum:
+            for i, p in enumerate(params):
+                if id(p) in optimizer._velocity:
+                    arrays[f"sgd_v_{i:04d}"] = optimizer._velocity[id(p)]
+    return opt_state
+
+
+def _unpack_optimizer(optimizer: Optional[Optimizer], opt_state: Dict, data) -> None:
+    """Restore optimizer moments saved by :func:`_pack_optimizer`.
+
+    The restore is *exact*: moments absent from the snapshot are cleared,
+    not kept — a run restored to a pre-first-step snapshot must not carry
+    stale moments from the incarnation that died.
+    """
+    if optimizer is None or opt_state.get("type") != type(optimizer).__name__:
+        return
+    optimizer.lr = opt_state["lr"]
+    optimizer.step_count = opt_state["step_count"]
+    params = optimizer.params
+    if isinstance(optimizer, Adam):
+        optimizer._m.clear()
+        optimizer._v.clear()
+        for i, p in enumerate(params):
+            key = f"adam_m_{i:04d}"
+            if key in data:
+                optimizer._m[id(p)] = data[key].copy()
+                optimizer._v[id(p)] = data[f"adam_v_{i:04d}"].copy()
+    elif isinstance(optimizer, RMSProp):
+        optimizer._sq.clear()
+        for i, p in enumerate(params):
+            key = f"rms_sq_{i:04d}"
+            if key in data:
+                optimizer._sq[id(p)] = data[key].copy()
+    elif isinstance(optimizer, SGD):
+        optimizer._velocity.clear()
+        for i, p in enumerate(params):
+            key = f"sgd_v_{i:04d}"
+            if key in data:
+                optimizer._velocity[id(p)] = data[key].copy()
+
+
+def atomic_savez(path: Union[str, Path], arrays: Dict[str, np.ndarray]) -> Path:
+    """Write an .npz atomically: savez to a temp file, then rename.
+
+    ``os.replace`` is atomic on POSIX, so readers either see the previous
+    complete checkpoint or the new complete one — never a torn write.
+    Returns the final path (with the ``.npz`` suffix ``np.savez`` adds).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    fd, tmp_name = tempfile.mkstemp(suffix=".npz", dir=path.parent, prefix=".tmp_ckpt_")
+    os.close(fd)
+    try:
+        with open(tmp_name, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
 def save_checkpoint(
     model: Model,
     optimizer: Optional[Optimizer],
@@ -57,21 +147,7 @@ def save_checkpoint(
     weights = model.get_weights()
     for i, w in enumerate(weights):
         arrays[f"param_{i:04d}"] = w
-    opt_state: Dict = {"type": None}
-    if optimizer is not None:
-        opt_state["type"] = type(optimizer).__name__
-        opt_state["lr"] = optimizer.lr
-        opt_state["step_count"] = optimizer.step_count
-        params = optimizer.params
-        if isinstance(optimizer, Adam):
-            for i, p in enumerate(params):
-                if id(p) in optimizer._m:
-                    arrays[f"adam_m_{i:04d}"] = optimizer._m[id(p)]
-                    arrays[f"adam_v_{i:04d}"] = optimizer._v[id(p)]
-        elif isinstance(optimizer, SGD) and optimizer.momentum:
-            for i, p in enumerate(params):
-                if id(p) in optimizer._velocity:
-                    arrays[f"sgd_v_{i:04d}"] = optimizer._velocity[id(p)]
+    opt_state = _pack_optimizer(optimizer, arrays)
     header = {
         "n_params": len(weights),
         "epoch": epoch,
@@ -95,20 +171,86 @@ def load_checkpoint(model: Model, optimizer: Optional[Optimizer], path: Union[st
         header = json.loads(bytes(data["_meta"]).decode())
         n = header["n_params"]
         model.set_weights([data[f"param_{i:04d}"] for i in range(n)])
-        opt_state = header.get("optimizer", {})
-        if optimizer is not None and opt_state.get("type") == type(optimizer).__name__:
-            optimizer.lr = opt_state["lr"]
-            optimizer.step_count = opt_state["step_count"]
-            params = optimizer.params
-            if isinstance(optimizer, Adam):
-                for i, p in enumerate(params):
-                    key = f"adam_m_{i:04d}"
-                    if key in data:
-                        optimizer._m[id(p)] = data[key].copy()
-                        optimizer._v[id(p)] = data[f"adam_v_{i:04d}"].copy()
-            elif isinstance(optimizer, SGD):
-                for i, p in enumerate(params):
-                    key = f"sgd_v_{i:04d}"
-                    if key in data:
-                        optimizer._velocity[id(p)] = data[key].copy()
+        _unpack_optimizer(optimizer, header.get("optimizer", {}), data)
+    return header
+
+
+def rng_state(rng: np.random.Generator) -> Dict:
+    """JSON-serializable snapshot of a Generator's bit-generator state."""
+    return rng.bit_generator.state
+
+
+def restore_rng(state: Dict) -> np.random.Generator:
+    """Reconstruct a Generator bit-identical to the one snapshotted."""
+    bit_gen_cls = getattr(np.random, state["bit_generator"])
+    gen = np.random.Generator(bit_gen_cls())
+    gen.bit_generator.state = state
+    return gen
+
+
+def save_training_state(
+    model: Model,
+    optimizer: Optional[Optimizer],
+    path: Union[str, Path],
+    *,
+    epoch: int = 0,
+    step: int = 0,
+    global_step: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+    history: Optional[List[Dict[str, float]]] = None,
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Atomic, fully-resumable training snapshot.
+
+    Beyond :func:`save_checkpoint` this captures the position *inside*
+    training — (epoch, step-in-epoch, global step), the shuffle RNG's
+    exact bit-generator state, arbitrary extra arrays (e.g. the current
+    epoch's permutation), and the per-epoch history so a resumed run
+    replays nothing and reports a seamless record.  Written with
+    :func:`atomic_savez`; returns the final checkpoint path.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    weights = model.get_weights()
+    for i, w in enumerate(weights):
+        arrays[f"param_{i:04d}"] = w
+    opt_state = _pack_optimizer(optimizer, arrays)
+    for key, arr in (extra_arrays or {}).items():
+        arrays[f"extra_{key}"] = np.asarray(arr)
+    header = {
+        "n_params": len(weights),
+        "epoch": epoch,
+        "step": step,
+        "global_step": global_step,
+        "optimizer": opt_state,
+        "rng": rng_state(rng) if rng is not None else None,
+        "history": history or [],
+        "extra_keys": sorted((extra_arrays or {}).keys()),
+        "metadata": metadata or {},
+    }
+    arrays["_meta"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    return atomic_savez(path, arrays)
+
+
+def load_training_state(
+    model: Model,
+    optimizer: Optional[Optimizer],
+    path: Union[str, Path],
+) -> Dict:
+    """Restore a snapshot written by :func:`save_training_state`.
+
+    Returns the header with two additions: ``"rng"`` is replaced by a
+    restored ``np.random.Generator`` (or None) and ``"extra"`` maps the
+    saved extra-array names to their arrays.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        header = json.loads(bytes(data["_meta"]).decode())
+        n = header["n_params"]
+        model.set_weights([data[f"param_{i:04d}"] for i in range(n)])
+        _unpack_optimizer(optimizer, header.get("optimizer", {}), data)
+        header["extra"] = {key: data[f"extra_{key}"].copy() for key in header.get("extra_keys", [])}
+    header["rng"] = restore_rng(header["rng"]) if header.get("rng") else None
     return header

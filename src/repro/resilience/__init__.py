@@ -1,0 +1,45 @@
+"""Fault-tolerant campaign runtime (the lived-in half of E15).
+
+:mod:`repro.hpc.resilience` *analyzes* failures (Young/Daly); this
+package *survives* them.  It provides:
+
+* :class:`FaultInjector` / :class:`FaultSpec` — a seeded, deterministic
+  fault schedule (node crashes, stragglers, NaN/corrupted gradients,
+  storage write failures, permanent worker loss) pluggable into the
+  training loop, the distributed-SGD simulators, the HPO schedulers,
+  and the campaign driver.
+* :class:`CheckpointManager` — periodic atomic (write-tmp-then-rename)
+  training snapshots including optimizer moments, epoch/step cursor and
+  RNG state, with Daly-optimal interval planning.
+* :func:`run_resilient_training` — a checkpoint/restart training loop
+  whose killed-and-resumed runs are bit-identical to uninterrupted ones.
+* :class:`ResilienceReport` — what happened: faults injected, retries,
+  restarts, checkpoint overhead, recovered work, measured efficiency.
+"""
+
+from .checkpoint import CheckpointManager
+from .faults import (
+    CRASH,
+    FAULT_KINDS,
+    NAN,
+    STORAGE,
+    STRAGGLER,
+    WORKER_LOSS,
+    FaultInjector,
+    FaultSpec,
+    as_injector,
+)
+from .runtime import (
+    ResilienceReport,
+    SimulatedCrash,
+    plan_checkpoint_interval,
+    run_resilient_training,
+)
+
+__all__ = [
+    "FaultSpec", "FaultInjector", "as_injector", "FAULT_KINDS",
+    "CRASH", "STRAGGLER", "NAN", "STORAGE", "WORKER_LOSS",
+    "CheckpointManager",
+    "ResilienceReport", "SimulatedCrash",
+    "run_resilient_training", "plan_checkpoint_interval",
+]

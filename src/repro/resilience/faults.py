@@ -1,0 +1,209 @@
+"""Seeded, deterministic fault injection.
+
+One :class:`FaultInjector` drives every fault-tolerant execution path in
+the library: the resilient training loop, the distributed-SGD
+simulators, the sync/async HPO schedulers, and the campaign driver.
+
+Determinism is by construction, not by call order: every decision draws
+from a child generator keyed on ``(seed, context, ids...)``, so the same
+(seed, trial, attempt) or (seed, incarnation, step) always produces the
+same fault regardless of how the event loop interleaved the queries.
+This is what makes injected-failure experiments reproducible and lets a
+killed-and-resumed training run replay its own fault history exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Fault kinds (also the keys of :attr:`FaultInjector.counts`).
+CRASH = "crash"          # node dies mid-work; the work is lost and retried
+STRAGGLER = "straggler"  # the work completes, `straggler_factor` times slower
+NAN = "nan"              # corrupted gradient / NaN objective value
+STORAGE = "storage"      # a checkpoint write fails (the old one survives)
+WORKER_LOSS = "worker_loss"  # a worker leaves the pool permanently
+
+FAULT_KINDS = (CRASH, STRAGGLER, NAN, STORAGE, WORKER_LOSS)
+
+# Context tags for the keyed RNG streams (never reuse across contexts).
+_CTX_TRIAL = 1
+_CTX_STEP = 2
+_CTX_STORAGE = 3
+_CTX_GRAD = 4
+_CTX_WORKER = 5
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault model.
+
+    Probabilities are per *unit of work*: per trial attempt for the
+    schedulers, per optimizer step for the training loop, per write for
+    checkpoint storage.  Explicit schedules (``crash_steps`` /
+    ``nan_steps``) fire exactly once each, at the named global training
+    step — the deterministic hammer the property tests use.
+    """
+
+    crash_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 4.0
+    nan_prob: float = 0.0
+    storage_fail_prob: float = 0.0
+    worker_loss_times: Tuple[float, ...] = ()
+    crash_steps: Tuple[int, ...] = ()
+    nan_steps: Tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "straggler_prob", "nan_prob", "storage_fail_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.crash_prob + self.nan_prob + self.straggler_prob >= 1.0:
+            raise ValueError("fault probabilities must sum to < 1")
+        if any(t < 0 for t in self.worker_loss_times):
+            raise ValueError("worker_loss_times must be non-negative")
+        if any(s < 0 for s in self.crash_steps) or any(s < 0 for s in self.nan_steps):
+            raise ValueError("fault steps must be non-negative")
+
+
+class FaultInjector:
+    """Stateful oracle over a :class:`FaultSpec`.
+
+    The only mutable state is bookkeeping: ``counts`` (injections by
+    kind, feeding :class:`repro.resilience.ResilienceReport`) and the
+    consumed-once explicit step schedules.  All probabilistic decisions
+    are pure functions of (seed, context ids).
+    """
+
+    def __init__(self, spec: Optional[FaultSpec] = None, **kwargs) -> None:
+        if spec is not None and kwargs:
+            raise ValueError("pass either a FaultSpec or keyword fields, not both")
+        self.spec = spec if spec is not None else FaultSpec(**kwargs)
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._pending_crash_steps = set(self.spec.crash_steps)
+        self._pending_nan_steps = set(self.spec.nan_steps)
+
+    def _draw(self, *key: int) -> float:
+        seed = [self.spec.seed & 0xFFFFFFFF] + [int(k) & 0xFFFFFFFF for k in key]
+        return float(np.random.default_rng(seed).random())
+
+    def record(self, kind: str, n: int = 1) -> None:
+        self.counts[kind] += n
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    # -- scheduler-facing (per trial attempt) ---------------------------
+    def trial_fault(self, trial_id: int, attempt: int) -> Optional[str]:
+        """Fault (if any) for one execution attempt of one trial.
+
+        A single uniform draw is partitioned crash | nan | straggler so
+        at most one fault fires per attempt.  Deterministic in
+        (seed, trial_id, attempt).
+        """
+        s = self.spec
+        if s.crash_prob == s.nan_prob == s.straggler_prob == 0.0:
+            return None
+        u = self._draw(_CTX_TRIAL, trial_id, attempt)
+        if u < s.crash_prob:
+            self.record(CRASH)
+            return CRASH
+        if u < s.crash_prob + s.nan_prob:
+            self.record(NAN)
+            return NAN
+        if u < s.crash_prob + s.nan_prob + s.straggler_prob:
+            self.record(STRAGGLER)
+            return STRAGGLER
+        return None
+
+    # -- training-loop-facing (per optimizer step) ----------------------
+    def crash_now(self, global_step: int, incarnation: int = 0) -> bool:
+        """Should the job die before executing ``global_step``?
+
+        Explicit ``crash_steps`` fire once each (the restarted
+        incarnation replays past the same step unharmed); rate-based
+        crashes are keyed on (incarnation, step) so a restart redraws.
+        """
+        if global_step in self._pending_crash_steps:
+            self._pending_crash_steps.discard(global_step)
+            self.record(CRASH)
+            return True
+        if self.spec.crash_prob > 0.0 and (
+            self._draw(_CTX_STEP, incarnation, global_step) < self.spec.crash_prob
+        ):
+            self.record(CRASH)
+            return True
+        return False
+
+    def corrupt_gradients(self, global_step: int, grads: Sequence[np.ndarray]) -> bool:
+        """Poison this step's gradients (in place) if a NaN fault fires.
+
+        Returns True when corrupted; the training loop's non-finite
+        guard then skips the update and quarantines the step.
+        """
+        due = False
+        if global_step in self._pending_nan_steps:
+            self._pending_nan_steps.discard(global_step)
+            due = True
+        elif self.spec.nan_prob > 0.0 and (
+            self._draw(_CTX_GRAD, global_step) < self.spec.nan_prob
+        ):
+            due = True
+        if due and len(grads) > 0:
+            grads[0][...] = np.nan
+            self.record(NAN)
+            return True
+        return False
+
+    # -- distributed-SGD-facing (per worker per update) -----------------
+    def worker_fault(self, update: int, worker: int) -> Optional[str]:
+        """Fault for one worker's contribution to one distributed update.
+
+        CRASH means the worker is lost permanently (the caller shrinks
+        its replica set); NAN means this worker's gradient for this
+        update is poisoned and must be dropped.  Deterministic in
+        (seed, update, worker).
+        """
+        s = self.spec
+        if s.crash_prob == s.nan_prob == 0.0:
+            return None
+        u = self._draw(_CTX_WORKER, update, worker)
+        if u < s.crash_prob:
+            self.record(WORKER_LOSS)
+            return CRASH
+        if u < s.crash_prob + s.nan_prob:
+            self.record(NAN)
+            return NAN
+        return None
+
+    # -- storage-facing (per checkpoint write) --------------------------
+    def storage_write_fails(self, write_index: int) -> bool:
+        if self.spec.storage_fail_prob > 0.0 and (
+            self._draw(_CTX_STORAGE, write_index) < self.spec.storage_fail_prob
+        ):
+            self.record(STORAGE)
+            return True
+        return False
+
+    # -- pool-facing ----------------------------------------------------
+    @property
+    def worker_loss_times(self) -> Tuple[float, ...]:
+        return self.spec.worker_loss_times
+
+
+def as_injector(faults) -> Optional[FaultInjector]:
+    """Coerce None | FaultSpec | FaultInjector into an injector."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultSpec):
+        return FaultInjector(faults)
+    raise TypeError(f"faults must be a FaultSpec or FaultInjector, got {type(faults).__name__}")

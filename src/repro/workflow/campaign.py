@@ -30,12 +30,18 @@ from ..hpo.strategies import STRATEGIES
 from ..nn import metrics as metrics_mod
 from ..nn.dataloader import train_val_split
 from ..precision.policy import PrecisionPolicy, train_with_policy
+from ..resilience import ResilienceReport, as_injector
 from .training_job import run_training_job, simulated_trial_cost
 
 
 @dataclass
 class CampaignReport:
-    """Everything a campaign produced."""
+    """Everything a campaign produced.
+
+    ``resilience`` is attached when the campaign ran under a fault model
+    (``run_campaign(..., faults=...)``): the combined ledger of what the
+    search and the final training survived.
+    """
 
     benchmark: str
     strategy: str
@@ -46,17 +52,25 @@ class CampaignReport:
     search_wallclock: float  # simulated seconds
     final_train_time: float  # simulated seconds
     total_energy: float  # joules (final training)
+    resilience: Optional[ResilienceReport] = None
 
     def summary(self) -> str:
-        return (
+        try:
+            best = f"{self.search_log.best_value():.4f}"
+        except ValueError:
+            best = "n/a"  # every trial was lost to faults
+        text = (
             f"campaign[{self.benchmark}] strategy={self.strategy} "
             f"trials={len(self.search_log)} "
-            f"best search loss={self.search_log.best_value():.4f} "
+            f"best search loss={best} "
             f"final {self.metric_name}={self.final_metric:.4f} "
             f"search wall={self.search_wallclock:.4g}s "
             f"train wall={self.final_train_time:.4g}s "
             f"energy={self.total_energy:.4g}J"
         )
+        if self.resilience is not None:
+            text += " | " + self.resilience.summary()
+        return text
 
 
 def run_campaign(
@@ -72,25 +86,47 @@ def run_campaign(
     seed: int = 0,
     max_search_samples: int = 300,
     strategy_kwargs: Optional[Dict] = None,
+    faults=None,
+    max_retries: int = 3,
+    retry_backoff: float = 0.0,
+    checkpoint_dir=None,
 ) -> CampaignReport:
     """Run search + final training for one registry benchmark.
 
     The search trains small models on a subsample (fast, real);
     the final training uses the full generated dataset under the
     requested precision policy, priced and metered on ``cluster``.
+
+    ``faults`` (a FaultSpec or FaultInjector) runs the whole campaign
+    under that fault model: search trials crash/straggle/NaN and are
+    retried or quarantined, workers may leave the pool permanently, and
+    the fp32 final training checkpoint/restarts through the injected
+    crash schedule.  The campaign always completes; the report's
+    ``resilience`` field says what it survived.  (Reduced-precision
+    final training keeps its policy loop and only the search is
+    fault-injected — the resilient fit loop is fp32.)
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
     spec = get_benchmark(benchmark)
     cluster = cluster or SimCluster.build("summit_era", max(n_workers, 1))
+    injector = as_injector(faults)
 
     # -- 1. search ---------------------------------------------------------
     objective = benchmark_objective(spec, data_seed=data_seed, max_samples=max_search_samples)
     cost = simulated_trial_cost(spec, cluster)
     strat_cls = STRATEGIES[strategy]
     strat = strat_cls(space, seed=seed, **(strategy_kwargs or {}))
-    log = run_parallel(strat, objective, n_trials, n_workers, cost)
-    best = log.best_config()
+    log = run_parallel(
+        strat, objective, n_trials, n_workers, cost,
+        injector=injector, max_retries=max_retries, retry_backoff=retry_backoff,
+    )
+    try:
+        best = log.best_config()
+    except ValueError:
+        # Graceful degradation: every trial was lost to faults.  Fall back
+        # to a seeded sample so the campaign still delivers a model.
+        best = space.sample(np.random.default_rng(seed))
     search_wall = max((t.sim_time for t in log.trials), default=0.0)
 
     # -- 2. final training ---------------------------------------------------
@@ -106,12 +142,15 @@ def run_campaign(
         cfg["hidden"] = (int(h1),) if h2 is None else (int(h1), int(h2))
     model = spec.build_model(**cfg)
 
+    train_resilience: Optional[ResilienceReport] = None
     if precision == "fp32":
         report = run_training_job(
             model, x_tr, y_tr, cluster, precision=precision,
             epochs=final_epochs, batch_size=batch_size, loss=spec.loss, lr=lr, seed=seed,
+            faults=injector, checkpoint_dir=checkpoint_dir,
         )
         train_time, energy = report.sim_total_time, report.energy_joules
+        train_resilience = report.resilience
     else:
         policy = PrecisionPolicy(precision)
         train_with_policy(model, x_tr, y_tr, policy, epochs=final_epochs,
@@ -136,6 +175,16 @@ def run_campaign(
         target = x_va if y_va is None else y_va
         final_metric = metrics_mod.get(spec.metric)(pred, np.asarray(target))
 
+    # -- 4. resilience ledger ------------------------------------------------
+    resilience: Optional[ResilienceReport] = None
+    if injector is not None:
+        resilience = train_resilience or ResilienceReport()
+        stats = log.stats
+        resilience.retries += stats.get("retries", 0)
+        resilience.quarantined += stats.get("quarantined", 0)
+        resilience.workers_lost += stats.get("workers_lost", 0)
+        resilience.faults = dict(injector.counts)  # search + training, by kind
+
     return CampaignReport(
         benchmark=spec.name,
         strategy=strategy,
@@ -146,4 +195,5 @@ def run_campaign(
         search_wallclock=search_wall,
         final_train_time=train_time,
         total_energy=energy,
+        resilience=resilience,
     )

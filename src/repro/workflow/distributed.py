@@ -27,16 +27,24 @@ from ..nn import losses as losses_mod
 from ..nn.dataloader import DataLoader, shard
 from ..nn.model import Model
 from ..nn.tensor import Tensor
+from ..resilience.faults import CRASH, NAN, FaultInjector
 
 
 @dataclass
 class DistributedRunResult:
-    """Outcome of a simulated distributed training run."""
+    """Outcome of a simulated distributed training run.
+
+    ``dropped_updates`` counts per-worker gradient contributions that were
+    discarded (NaN-poisoned, or from a worker as it died); ``workers_lost``
+    counts replicas permanently removed by injected crashes.
+    """
 
     epoch_losses: List[float]
     comm_bytes: float = 0.0
     dense_bytes: float = 0.0
     updates: int = 0
+    dropped_updates: int = 0
+    workers_lost: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -71,6 +79,7 @@ def train_sync_data_parallel(
     lr: float = 1e-2,
     seed: int = 0,
     use_communicator: bool = False,
+    injector: Optional[FaultInjector] = None,
 ) -> DistributedRunResult:
     """Synchronous data parallelism with exact gradient averaging.
 
@@ -82,6 +91,12 @@ def train_sync_data_parallel(
     ring-allreduce algorithm of :class:`repro.comm.Communicator` instead
     of a direct sum, and reports the communicator's measured traffic —
     the numerics and the traffic accounting cross-validate each other.
+
+    An ``injector`` degrades the run gracefully instead of crashing it:
+    a worker CRASH fault permanently removes that replica (the remaining
+    workers keep averaging over the survivors; the last worker never
+    dies), and a NAN fault drops that worker's contribution for that
+    update only.  The result reports both.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -106,43 +121,78 @@ def train_sync_data_parallel(
 
         communicator = Communicator(n_workers)
 
+    alive = list(range(n_workers))
     epoch_losses: List[float] = []
     comm = 0.0
+    comm_retired = 0.0  # traffic from communicators retired by pool shrinks
     updates = 0
+    dropped = 0
+    lost = 0
     for _ in range(epochs):
         iters = [iter(l) for l in loaders]
         total, count = 0.0, 0
         for _ in range(steps_per_epoch):
-            per_worker: List[List[np.ndarray]] = []
-            for it, (sx, sy) in zip(iters, shards):
-                xb, yb = next(it)
+            contributions: List[List[np.ndarray]] = []
+            crashed: List[int] = []
+            for r in alive:
+                xb, yb = next(iters[r])
+                fault = injector.worker_fault(updates, r) if injector is not None else None
+                if fault == CRASH and len(alive) - len(crashed) > 1:
+                    # The replica died mid-step: its gradient is lost and
+                    # it leaves the collective from the next step on.
+                    crashed.append(r)
+                    dropped += 1
+                    continue
                 target = xb if yb is None else yb
                 grads, loss_val = _grads_of(model, xb, target, loss_fn)
+                if fault == NAN:
+                    dropped += 1  # poisoned contribution, quarantined
+                    continue
                 total += loss_val
                 count += 1
-                per_worker.append(grads)
-            if communicator is not None:
+                contributions.append(grads)
+            if crashed:
+                alive = [r for r in alive if r not in crashed]
+                lost += len(crashed)
+                if communicator is not None and len(alive) > 1:
+                    # The ring re-forms over the survivors.
+                    comm_retired += communicator.traffic.bytes_sent
+                    from ..comm import Communicator
+
+                    communicator = Communicator(len(alive))
+                elif communicator is not None:
+                    comm_retired += communicator.traffic.bytes_sent
+                    communicator = None
+            if not contributions:
+                continue  # every contribution was dropped; skip the update
+            if communicator is not None and len(contributions) == len(alive):
                 # Real ring allreduce, parameter by parameter.
                 summed: List[np.ndarray] = []
                 for param_idx in range(len(params)):
-                    bufs = [per_worker[w][param_idx].copy() for w in range(n_workers)]
+                    bufs = [c[param_idx].copy() for c in contributions]
                     communicator.Allreduce_ring(bufs)
                     summed.append(bufs[0])
                 grad_sum = summed
             else:
-                grad_sum = per_worker[0]
-                for w in range(1, n_workers):
-                    for gs, g in zip(grad_sum, per_worker[w]):
+                # Direct sum (also the fallback when NaN drops leave the
+                # step with fewer contributions than ring members).
+                grad_sum = contributions[0]
+                for c in contributions[1:]:
+                    for gs, g in zip(grad_sum, c):
                         gs += g
-                comm += grad_bytes * n_workers  # model the injected volume
+                comm += grad_bytes * len(contributions)  # model the injected volume
             for p, g in zip(params, grad_sum):
-                p.data -= lr * g / n_workers
+                p.data -= lr * g / len(contributions)
             updates += 1
         epoch_losses.append(total / max(count, 1))
     if communicator is not None:
-        comm = communicator.traffic.bytes_sent
-    dense = grad_bytes * n_workers * updates if communicator is None else comm
-    return DistributedRunResult(epoch_losses, comm_bytes=comm, dense_bytes=dense, updates=updates)
+        comm += communicator.traffic.bytes_sent
+    comm += comm_retired
+    dense = grad_bytes * n_workers * updates if not use_communicator else comm
+    return DistributedRunResult(
+        epoch_losses, comm_bytes=comm, dense_bytes=dense, updates=updates,
+        dropped_updates=dropped, workers_lost=lost,
+    )
 
 
 def train_async_sgd(
@@ -156,6 +206,7 @@ def train_async_sgd(
     loss: str = "mse",
     lr: float = 1e-2,
     seed: int = 0,
+    injector: Optional[FaultInjector] = None,
 ) -> DistributedRunResult:
     """Parameter-server asynchronous SGD with fixed gradient staleness.
 
@@ -164,6 +215,10 @@ def train_async_sgd(
     synchronous-equivalent pipeline).  A weight-snapshot ring buffer makes
     the staleness exact rather than stochastic, which isolates the effect
     for the E13 ablation.
+
+    An ``injector`` may poison arriving gradients (NaN faults); the
+    parameter server drops those updates rather than absorbing NaNs —
+    the live weights are untouched and the run reports the drop count.
     """
     if staleness < 0:
         raise ValueError("staleness must be >= 0")
@@ -184,6 +239,8 @@ def train_async_sgd(
 
     epoch_losses: List[float] = []
     updates = 0
+    arrivals = 0
+    dropped = 0
     for _ in range(epochs):
         total, count = 0.0, 0
         for xb, yb in loader:
@@ -195,6 +252,17 @@ def train_async_sgd(
             for p, w in zip(params, stale):
                 p.data[...] = w
             grads, loss_val = _grads_of(model, xb, target, loss_fn)
+            corrupted = (
+                injector.corrupt_gradients(arrivals, grads) if injector is not None else False
+            )
+            arrivals += 1
+            if corrupted or not all(np.isfinite(g).all() for g in grads):
+                # Parameter server quarantine: a poisoned gradient is
+                # dropped, the live weights stand.
+                for p, w in zip(params, live):
+                    p.data[...] = w
+                dropped += 1
+                continue
             # ...apply it to the live weights.
             for p, w, g in zip(params, live, grads):
                 p.data[...] = w - lr * g
@@ -203,7 +271,10 @@ def train_async_sgd(
             updates += 1
         epoch_losses.append(total / max(count, 1))
     grad_bytes = sum(p.size for p in params) * 8.0 * updates
-    return DistributedRunResult(epoch_losses, comm_bytes=grad_bytes, dense_bytes=grad_bytes, updates=updates)
+    return DistributedRunResult(
+        epoch_losses, comm_bytes=grad_bytes, dense_bytes=grad_bytes, updates=updates,
+        dropped_updates=dropped,
+    )
 
 
 def topk_sparsify(grad: np.ndarray, fraction: float) -> Tuple[np.ndarray, int]:

@@ -21,11 +21,16 @@ from ..hpc.parallelism import DataParallel, ParallelPlan, SingleNode
 from ..hpc.perfmodel import ModelProfile, profile_model
 from ..hpo.space import Config
 from ..nn.model import History, Model
+from ..resilience import ResilienceReport, as_injector, plan_checkpoint_interval, run_resilient_training
 
 
 @dataclass
 class TrainingReport:
-    """Outcome of one simulated-cost training run."""
+    """Outcome of one simulated-cost training run.
+
+    ``resilience`` is populated only for fault-tolerant runs
+    (``run_training_job(..., faults=...)``); plain runs leave it None.
+    """
 
     history: History
     profile: ModelProfile
@@ -34,6 +39,7 @@ class TrainingReport:
     sim_total_time: float
     energy_joules: float
     final_loss: float
+    resilience: Optional[ResilienceReport] = None
 
 
 def run_training_job(
@@ -48,35 +54,91 @@ def run_training_job(
     loss: str = "mse",
     lr: float = 1e-3,
     seed: int = 0,
+    faults=None,
+    checkpoint_dir=None,
 ) -> TrainingReport:
     """Train ``model`` for real; price every step on ``cluster``/``plan``.
 
     The simulated global batch is the fit loop's batch; steps per epoch
     come from the dataset size.
+
+    With ``faults`` (a FaultSpec or FaultInjector) the job runs through
+    :func:`repro.resilience.run_resilient_training` instead of the plain
+    fit loop: it checkpoints at the Daly-optimal step interval for this
+    model on this cluster, survives the injected crash/NaN schedule, and
+    the report's time/energy bill includes the replayed work, checkpoint
+    writes and restart overheads (its ``resilience`` field itemizes them).
     """
     plan = plan or SingleNode()
     x = np.asarray(x)
-    history = model.fit(x, y, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed)
+    injector = as_injector(faults)
+
+    if injector is None:
+        history = model.fit(x, y, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed)
+        profile = profile_model(model, x.shape[1:], batch_size=batch_size)
+        _check_feasible(plan, profile, cluster, precision)
+        step_t = plan.step_time(profile, cluster, precision)
+        steps_per_epoch = int(np.ceil(len(x) / batch_size))
+        epoch_t = step_t * steps_per_epoch
+        energy = step_energy(plan, profile, cluster, precision).total * steps_per_epoch * len(history)
+        return TrainingReport(
+            history=history,
+            profile=profile,
+            sim_step_time=step_t,
+            sim_epoch_time=epoch_t,
+            sim_total_time=epoch_t * len(history),
+            energy_joules=energy,
+            final_loss=history.series("loss")[-1],
+        )
+
+    # Fault-tolerant path: price the machine first (the checkpoint cadence
+    # depends on step time and MTBF), then live through the fault schedule.
+    if not model.built:
+        model.build(x.shape[1:], np.random.default_rng(seed))
     profile = profile_model(model, x.shape[1:], batch_size=batch_size)
+    _check_feasible(plan, profile, cluster, precision)
+    step_t = plan.step_time(profile, cluster, precision)
+    cadence = plan_checkpoint_interval(profile, cluster, precision=precision, step_time_s=step_t)
+    ckpt_time = cadence["checkpoint_time"]
+    checkpoint_every = int(cadence["interval_steps"])
+
+    if checkpoint_dir is None:
+        import tempfile
+
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+    history, resilience = run_resilient_training(
+        model, x, y,
+        checkpoint_dir=checkpoint_dir,
+        epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed,
+        checkpoint_every=checkpoint_every,
+        injector=injector,
+        step_time_s=step_t,
+        checkpoint_time_s=ckpt_time,
+        restart_time_s=ckpt_time,  # reading the snapshot back mirrors writing it
+    )
+    steps_per_epoch = int(np.ceil(len(x) / batch_size))
+    executed_steps = resilience.useful_steps + resilience.steps_replayed
+    # Energy follows executed (not just useful) steps — replay burns watts.
+    energy = step_energy(plan, profile, cluster, precision).total * executed_steps
+    return TrainingReport(
+        history=history,
+        profile=profile,
+        sim_step_time=step_t,
+        sim_epoch_time=step_t * steps_per_epoch,
+        sim_total_time=resilience.sim_total_time,
+        energy_joules=energy,
+        final_loss=history.series("loss")[-1],
+        resilience=resilience,
+    )
+
+
+def _check_feasible(plan: ParallelPlan, profile: ModelProfile, cluster: SimCluster, precision: str) -> None:
     if not plan.feasible(profile, cluster, precision):
         raise ValueError(
             f"plan {plan.name} does not fit: needs "
             f"{plan.memory_per_node(profile, precision) / 1e9:.1f} GB/node, node has "
             f"{cluster.node.accelerator.mem_capacity / 1e9:.1f} GB"
         )
-    step_t = plan.step_time(profile, cluster, precision)
-    steps_per_epoch = int(np.ceil(len(x) / batch_size))
-    epoch_t = step_t * steps_per_epoch
-    energy = step_energy(plan, profile, cluster, precision).total * steps_per_epoch * len(history)
-    return TrainingReport(
-        history=history,
-        profile=profile,
-        sim_step_time=step_t,
-        sim_epoch_time=epoch_t,
-        sim_total_time=epoch_t * len(history),
-        energy_joules=energy,
-        final_loss=history.series("loss")[-1],
-    )
 
 
 def simulated_trial_cost(

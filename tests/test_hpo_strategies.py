@@ -389,3 +389,57 @@ class TestFailureInjection:
             run_parallel(RandomSearch(space), sphere, 10, 2, failure_rate=1.0)
         with pytest.raises(ValueError):
             run_parallel(RandomSearch(space), sphere, 10, 2, max_retries=-1)
+        with pytest.raises(ValueError):
+            run_parallel(RandomSearch(space), sphere, 10, 2, retry_backoff=-1.0)
+
+    def test_stats_account_for_every_crash(self):
+        """Every injected crash is either retried or ends an inf trial:
+        failures == retries + #inf — the ledger balances."""
+        space = small_space()
+        log = run_parallel(
+            RandomSearch(space, seed=0), sphere, 40, 4,
+            constant_cost(1.0), failure_rate=0.35, max_retries=2, failure_seed=9,
+        )
+        stats = log.stats
+        n_inf = sum(t.value == float("inf") for t in log.trials)
+        assert stats["failures"] > 0
+        assert stats["failures"] == stats["retries"] + n_inf
+        # Exhausted trials burned exactly max_retries + 1 attempts each.
+        assert stats["retries"] >= n_inf * 2 or n_inf == 0
+
+    def test_stats_deterministic_under_failure_seed(self):
+        space = small_space()
+        runs = [
+            run_parallel(RandomSearch(space, seed=0), sphere, 40, 4,
+                         constant_cost(2.0), failure_rate=0.2, failure_seed=7).stats
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        other = run_parallel(RandomSearch(space, seed=0), sphere, 40, 4,
+                             constant_cost(2.0), failure_rate=0.2, failure_seed=8).stats
+        assert other != runs[0]
+
+    def test_values_deterministic_under_failure_seed(self):
+        space = small_space()
+        a = run_parallel(RandomSearch(space, seed=0), sphere, 40, 4,
+                         constant_cost(2.0), failure_rate=0.2, failure_seed=7)
+        b = run_parallel(RandomSearch(space, seed=0), sphere, 40, 4,
+                         constant_cost(2.0), failure_rate=0.2, failure_seed=7)
+        assert [t.value for t in a.trials] == [t.value for t in b.trials]
+        assert [t.trial_id for t in a.trials] == [t.trial_id for t in b.trials]
+
+    def test_sync_mode_failure_injection(self):
+        """The BSP scheduler shares the async fault model: crashes retry
+        in place, exhausted trials land as inf, stats balance."""
+        space = small_space()
+        log = run_parallel(
+            RandomSearch(space, seed=0), sphere, 24, 4,
+            constant_cost(1.0), sync=True, failure_rate=0.4, max_retries=1,
+            failure_seed=5,
+        )
+        assert len(log) == 24
+        n_inf = sum(t.value == float("inf") for t in log.trials)
+        assert log.stats["failures"] == log.stats["retries"] + n_inf
+        # Barrier times stay monotone non-decreasing even with retries.
+        times = [t.sim_time for t in log.trials]
+        assert times == sorted(times)

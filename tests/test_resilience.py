@@ -84,6 +84,18 @@ class TestExpectedRuntime:
         with pytest.raises(ValueError):
             expected_runtime(10, 1, 1, 100, 0)
 
+    def test_failure_dominated_regime_finite(self):
+        """Regression: seg >> mtbf underflowed exp(-seg/M) to exactly 0.0,
+        making 1 - p_fail zero and raising ZeroDivisionError."""
+        t = expected_runtime(work=1000.0, checkpoint_time=10.0, restart_time=30.0,
+                             mtbf=1.0, interval=1000.0)
+        assert np.isfinite(t)
+        assert t > 1000.0
+
+    def test_clamp_does_not_perturb_normal_regime(self):
+        t = expected_runtime(1000.0, 10.0, 30.0, mtbf=500.0, interval=100.0)
+        assert np.isfinite(t) and t > 1000.0
+
 
 @pytest.fixture(scope="module")
 def big_profile():
