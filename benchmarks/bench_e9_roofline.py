@@ -68,3 +68,57 @@ def test_e9_roofline(benchmark):
 
     flops, nbytes = 2.0 * 256 * 4096 * 4096, (256 * 4096 * 2 + 4096 * 4096) * 4.0
     benchmark(lambda: achieved_flops(flops, nbytes, acc, "fp16"))
+
+
+def test_e9c_measured_vs_modeled(benchmark):
+    """Measured op-level profile of a real train step vs the modeled story.
+
+    The roofline model above *predicts* that a DNN step is GEMM-dominated
+    (claim C6).  Here we train an actual MLP with the op profiler attached
+    and check the prediction against measured wall time: the fused
+    GEMM-bearing op (linear_act) must dominate the elementwise rest.
+    Absolute times are host-CPU and machine-dependent, so the assertions
+    are about *shares*, not seconds.
+    """
+    from repro.nn import Dense, Sequential
+    from repro.perf import OpProfiler
+
+    rng = np.random.default_rng(9)
+    x = rng.standard_normal((512, 128))
+    y = rng.integers(0, 10, 512)
+    model = Sequential([Dense(128, activation="relu"), Dense(64, activation="relu"), Dense(10)])
+    prof = OpProfiler()
+    model.fit(x, y, epochs=2, batch_size=64, loss="cross_entropy", profiler=prof)
+
+    stats = prof.as_dict()
+    total = sum(s["total_s"] for s in stats.values())
+    assert total > 0, "profiler recorded nothing"
+    rows = [
+        [name, s["calls"], 1e3 * s["total_s"], 100.0 * s["total_s"] / total]
+        for name, s in stats.items()
+    ]
+    print_experiment(
+        "E9c Measured op profile of a real MLP train step (host CPU)",
+        format_table(["op", "calls", "total ms", "% of op time"], rows),
+    )
+
+    share = {name: s["total_s"] / total for name, s in stats.items()}
+    # The modeled claim, checked against measurement: the GEMM-bearing op
+    # dominates the op-time budget...
+    assert share.get("linear_act", 0.0) > 0.4, f"expected GEMM-dominated step, got {share}"
+    # ...and beats the loss + any elementwise epilogues combined.
+    rest = sum(v for k, v in share.items() if k != "linear_act")
+    assert share["linear_act"] > rest, f"linear_act does not dominate: {share}"
+
+    # Modeled arithmetic intensity of the first layer's forward GEMM, for
+    # the printed comparison (the measured host has no fp16 tensor cores —
+    # the point of the modeled column is the *target* machine).
+    flops = 2.0 * 64 * 128 * 128
+    nbytes = (64 * 128 + 128 * 128 + 64 * 128) * 8.0
+    ai = arithmetic_intensity(flops, nbytes)
+    print_experiment(
+        "E9d Modeled intensity of the measured step's first GEMM",
+        format_table(["kernel", "flops/byte"], [["gemm 64x128x128 fp64", ai]]),
+    )
+
+    benchmark(lambda: model.predict(x[:64]))

@@ -1,0 +1,84 @@
+"""Kernel microbenchmarks for the NumPy training engine.
+
+Two entry points over :func:`repro.perf.bench.run_suite`:
+
+* ``pytest benchmarks/bench_kernels.py --benchmark-only -s`` — smoke-mode
+  run that prints the suite tables and *gates on correctness* (fused ops
+  must match their unfused compositions; the optimized conv kernels must
+  match the frozen pre-PR kernels).  Smoke shapes are tiny, so the timing
+  ratios are not meaningful here — only the parity checks are.
+* ``python benchmarks/bench_kernels.py [--smoke] [--reps N] [--out PATH]``
+  — the runner that emits ``BENCH_kernels.json``; exits nonzero if any
+  parity check fails.  Full mode records the speedup trajectory
+  (``acceptance`` section) future PRs regress against.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import print_experiment  # noqa: E402
+from repro.perf.bench import format_results, run_suite  # noqa: E402
+
+
+def test_kernel_bench_smoke(benchmark):
+    import numpy as np
+
+    from repro.nn import Tensor, no_grad
+    from repro.nn import functional as F
+
+    results = run_suite(smoke=True)
+    print_experiment("Kernel microbenchmarks (smoke shapes)", format_results(results))
+
+    # The gate: fused must match unfused, optimized conv must match the
+    # frozen pre-PR kernels.  Timings at smoke shapes are noise.
+    fused = results["fused"]
+    assert fused["linear_act"]["ok"], f"linear_act mismatch: {fused['linear_act']}"
+    assert fused["softmax_cross_entropy"]["ok"], (
+        f"softmax_cross_entropy mismatch: {fused['softmax_cross_entropy']}"
+    )
+    for section in ("conv1d_forward", "conv2d_forward"):
+        for row in results[section]:
+            assert row["max_diff"] < 1e-9, f"{section} {row['shape']}: diff {row['max_diff']}"
+
+    rng = np.random.default_rng(0)
+    xt = Tensor(rng.standard_normal((4, 2, 16, 16)))
+    wt = Tensor(rng.standard_normal((4, 2, 3, 3)))
+    bt = Tensor(rng.standard_normal(4))
+
+    def conv_fwd():
+        with no_grad():
+            return F.conv2d(xt, wt, bt, stride=1, padding=1)
+
+    benchmark(conv_fwd)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny shapes (CI): parity gate only")
+    parser.add_argument("--reps", type=int, default=None, help="timing repetitions per kernel")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_kernels.json",
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(smoke=args.smoke, reps=args.reps)
+    print(format_results(results))
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if not results["acceptance"]["parity_ok"]:
+        print("FAIL: fused/unfused or optimized/reference outputs disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

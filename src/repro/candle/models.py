@@ -85,10 +85,16 @@ def build_p1b2_classifier(
     """P1B2: deep MLP over (sparse-ish) expression features -> tumor type."""
     layers: List = []
     for h in hidden:
-        layers.append(Dense(h, activation=None))
         if batch_norm:
+            # Norm sits between the affine map and the nonlinearity, so
+            # the activation must stay a separate layer here.
+            layers.append(Dense(h, activation=None))
             layers.append(BatchNorm())
-        layers.append(Activation(activation))
+            layers.append(Activation(activation))
+        else:
+            # Same computation, but expressed so Dense can take the fused
+            # GEMM + bias + activation path.
+            layers.append(Dense(h, activation=activation))
         if dropout > 0:
             layers.append(Dropout(dropout))
     layers.append(Dense(n_classes))

@@ -53,10 +53,20 @@ from .schedules import (
     StepDecay,
     WarmupCosine,
 )
-from .tensor import Tensor, concatenate, no_grad, ones, stack, tensor, zeros
+from .tensor import (
+    Tensor,
+    concatenate,
+    no_grad,
+    ones,
+    stack,
+    tape_node_count,
+    tensor,
+    zeros,
+)
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones", "concatenate", "stack", "no_grad",
+    "tape_node_count",
     "functional", "init", "losses", "metrics", "optim", "schedules",
     "Layer", "Dense", "Activation", "Dropout", "BatchNorm", "LayerNorm",
     "Conv1D", "MaxPool1D", "AvgPool1D", "Flatten", "Embedding",

@@ -61,8 +61,15 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
         n = len(self.x)
-        idx = self.rng.permutation(n) if self.shuffle else np.arange(n)
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        if not self.shuffle:
+            # Sequential epochs take contiguous basic slices — views into
+            # the dataset, zero bytes copied per batch.
+            for start in range(0, stop, self.batch_size):
+                sl = slice(start, min(start + self.batch_size, stop))
+                yield self.x[sl], (None if self.y is None else self.y[sl])
+            return
+        idx = self.rng.permutation(n)
         for start in range(0, stop, self.batch_size):
             batch_idx = idx[start : start + self.batch_size]
             xb = self.x[batch_idx]

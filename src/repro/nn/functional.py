@@ -1,9 +1,21 @@
 """Differentiable functional ops built on :class:`repro.nn.tensor.Tensor`.
 
 Everything here is vectorized NumPy: convolutions use an im2col
-(stride-tricks) lowering so the inner loop is a single GEMM, softmax and
-log-softmax use the log-sum-exp trick, and backward closures avoid
-re-computing forward quantities.
+(``sliding_window_view``) lowering so the inner loop is a single GEMM,
+softmax and log-softmax use the log-sum-exp trick, and backward closures
+avoid re-computing forward quantities.
+
+Hot-path conventions (see ``repro.perf`` for the measurement side):
+
+* im2col materializes its copy in a (C*K, N*L_out) "kn" layout whose inner
+  runs are contiguous in the source image, then feeds one GEMM; the column
+  buffer is cached in the closure and reused by backward for the weight
+  gradient.
+* conv/pool backward scatter through strided slice ``+=`` (index sets from
+  a uniform stride never collide), never ``np.add.at``, except for
+  overlapping pooling windows where collisions are real.
+* ``conv1d``/``conv2d``/``linear_act`` optionally fuse a relu/tanh
+  epilogue into the same tape node, applied in place on the GEMM output.
 """
 
 from __future__ import annotations
@@ -11,8 +23,65 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .tensor import Tensor, unbroadcast
+
+
+# Activation epilogues fusable into conv / linear nodes.  Each entry maps
+# name -> (in-place forward on the pre-activation buffer,
+#          in-place-safe backward factor from the *post*-activation output).
+_FUSED_ACTS = {
+    "relu": (
+        lambda buf: np.maximum(buf, 0.0, out=buf),
+        lambda out, g: g * (out > 0),
+    ),
+    "tanh": (
+        lambda buf: np.tanh(buf, out=buf),
+        lambda out, g: g * (1.0 - out * out),
+    ),
+}
+
+
+def _fused_act(activation: Optional[str]):
+    if activation is None:
+        return None
+    try:
+        return _FUSED_ACTS[activation]
+    except KeyError:
+        raise ValueError(
+            f"unsupported fused activation {activation!r}; choose from {sorted(_FUSED_ACTS)} or None"
+        )
+
+
+# Batch sizes repeat every step, so the row-gather index is worth caching
+# (read-only: it is shared across every caller with the same n).
+_ROW_INDEX: dict = {}
+
+
+def _row_index(n: int) -> np.ndarray:
+    rows = _ROW_INDEX.get(n)
+    if rows is None:
+        rows = np.arange(n)
+        rows.flags.writeable = False
+        _ROW_INDEX[n] = rows
+    return rows
+
+
+def _pad_nd(xd: np.ndarray, padding: int, spatial_axes: int) -> np.ndarray:
+    """Zero-pad the trailing ``spatial_axes`` axes by ``padding`` on both
+    sides.  Hand-rolled (zeros + slice assign) because ``np.pad`` spends
+    most of its time in Python bookkeeping for this common case."""
+    if padding <= 0:
+        return xd
+    shape = list(xd.shape)
+    sl = [slice(None)] * xd.ndim
+    for ax in range(xd.ndim - spatial_axes, xd.ndim):
+        shape[ax] += 2 * padding
+        sl[ax] = slice(padding, padding + xd.shape[ax])
+    buf = np.zeros(tuple(shape), dtype=xd.dtype)
+    buf[tuple(sl)] = xd
+    return buf
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +284,113 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     return out
 
 
+def linear_act(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """Fused ``act(x @ weight + bias)`` as a single tape node.
+
+    The bias add and the relu/tanh epilogue run in place on the GEMM
+    output, and backward applies the activation derivative to the incoming
+    gradient before the two grad GEMMs — one node where the unfused
+    composition records three.  Falls back to the unfused ops for inputs
+    that are not 2-D (the Dense hot path is (N, F)).
+    """
+    act = _fused_act(activation)
+    if x.data.ndim != 2:
+        out = linear(x, weight, bias)
+        if activation == "relu":
+            return relu(out)
+        if activation == "tanh":
+            return tanh(out)
+        return out
+
+    xd, wd = x.data, weight.data
+    out = xd @ wd  # (N, units)
+    if bias is not None:
+        out += bias.data
+    if act is not None:
+        act[0](out)
+
+    def backward(g: np.ndarray):
+        if act is not None:
+            g = act[1](out, g)
+        grad_x = g @ wd.T
+        grad_w = xd.T @ g
+        if bias is None:
+            return (grad_x, grad_w, None)
+        # g is (N, units) here; a 1-D bias reduces over the batch axis
+        # directly, skipping the generic unbroadcast machinery.
+        grad_b = g.sum(axis=0) if bias.data.ndim == 1 else unbroadcast(g, bias.shape)
+        return (grad_x, grad_w, grad_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    req = any(p.requires_grad for p in parents)
+    return Tensor(out, requires_grad=req, parents=parents, backward_fn=backward)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Fused softmax + cross-entropy as one tape node with the stable
+    ``(p - y) / n`` backward.
+
+    ``labels`` may be integer class ids (N,) or one-hot / soft labels
+    (N, C).  Equivalent to ``-mean(log_softmax(logits)[y])`` but skips the
+    intermediate log-prob node and the fancy-index gather node whose
+    backward is an ``np.add.at`` scatter.
+    """
+    labels = np.asarray(labels)
+    zd = logits.data
+    if zd.ndim != 2:
+        raise ValueError(f"softmax_cross_entropy expects (N, C) logits, got {zd.shape}")
+    n = zd.shape[0]
+    shifted = zd - zd.max(axis=1, keepdims=True)
+    if labels.ndim == 1:
+        idx = labels.astype(np.int64)
+        rows = _row_index(n)
+        picked = shifted[rows, idx]  # (N,) gather before exp clobbers it
+        np.exp(shifted, out=shifted)
+        denom = shifted.sum(axis=1, keepdims=True)
+        p = shifted
+        p /= denom  # softmax, saved for backward
+        # -mean(logp[y]) = (sum(log denom) - sum(shifted[y])) / n, all
+        # pre-exp quantities, so no log-of-underflowed-softmax
+        # instability.  denom is dead after the divide, so log lands in
+        # it; .sum() skips the np.mean wrapper's per-call overhead.
+        np.log(denom, out=denom)
+        loss = float((denom.sum() - picked.sum()) / n)
+    else:
+        soft = labels.astype(zd.dtype, copy=False)
+        denom = np.exp(shifted).sum(axis=1, keepdims=True)
+        logp = shifted
+        logp -= np.log(denom)
+        loss = -float(np.sum(soft * logp)) / n
+        p = np.exp(logp)  # saved for backward
+
+    def backward(g: np.ndarray):
+        # d loss / d z = (p - y) / n, computed in place on the saved
+        # softmax buffer (this node is the graph root in training loops,
+        # so the buffer is not referenced anywhere else afterwards).
+        if labels.ndim == 1:
+            p[rows, idx] -= 1.0
+        else:
+            # General soft labels: d(-sum(y*logp)/n)/dz = (p*sum_c(y) - y)/n;
+            # the row sums collapse to 1 for proper one-hot/soft targets.
+            np.multiply(p, soft.sum(axis=1, keepdims=True), out=p)
+            np.subtract(p, soft, out=p)
+        scale = np.asarray(g).reshape(()) / n
+        np.multiply(p, scale, out=p)
+        return (p,)
+
+    return Tensor(
+        np.asarray(loss, dtype=zd.dtype),
+        requires_grad=logits.requires_grad,
+        parents=(logits,),
+        backward_fn=backward,
+    )
+
+
 def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
     """Inverted dropout: scales at train time so eval is identity."""
     if not training or p <= 0.0:
@@ -222,7 +398,16 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     keep = 1.0 - p
-    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    dt = x.data.dtype
+    # Draw uniforms directly in the input dtype (float32 inputs never touch
+    # float64), then overwrite the same buffer with the scaled 0/(1/keep)
+    # mask — one allocation total, reused again by backward.
+    if dt == np.float64 or dt == np.float32:
+        mask = rng.random(x.shape, dtype=dt)
+    else:
+        mask = rng.random(x.shape).astype(dt)
+    kept = mask < keep
+    np.multiply(kept, dt.type(1.0 / keep), out=mask)
     data = x.data * mask
 
     def backward(g: np.ndarray):
@@ -249,17 +434,20 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
 # 1-D convolution via im2col (the CANDLE NT3 workload is Conv1D-heavy)
 # ----------------------------------------------------------------------
 def _im2col_1d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
-    """(N, C, L) -> (N, L_out, C*kernel) view-based patch matrix."""
+    """(N, C, L) -> (C*kernel, N*L_out) patch matrix ("kn" layout).
+
+    The windowed view stays zero-copy until the reshape at the GEMM
+    boundary; putting (C, K) on the rows keeps each copied run contiguous
+    along L in the source, which is what makes the copy fast.
+    """
     n, c, length = x.shape
     l_out = (length - kernel) // stride + 1
-    s_n, s_c, s_l = x.strides
-    patches = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, l_out, c, kernel),
-        strides=(s_n, s_l * stride, s_c, s_l),
-        writeable=False,
-    )
-    return patches.reshape(n, l_out, c * kernel)
+    # (N, C, L_out_full, K) view; subsample for stride, then move (C, K)
+    # to the front.  Only the final reshape copies.
+    win = sliding_window_view(x, kernel, axis=2)
+    if stride > 1:
+        win = win[:, :, ::stride]
+    return win.transpose(1, 3, 0, 2).reshape(c * kernel, n * l_out)
 
 
 def conv1d(
@@ -268,17 +456,15 @@ def conv1d(
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    activation: Optional[str] = None,
 ) -> Tensor:
-    """1-D convolution.
+    """1-D convolution, optionally fused with a relu/tanh epilogue.
 
     Shapes: x (N, C_in, L), weight (C_out, C_in, K), bias (C_out,).
     Returns (N, C_out, L_out) with L_out = (L + 2*padding - K)//stride + 1.
     """
-    xd = x.data
-    if padding > 0:
-        xd_pad = np.pad(xd, ((0, 0), (0, 0), (padding, padding)))
-    else:
-        xd_pad = xd
+    act = _fused_act(activation)
+    xd_pad = _pad_nd(x.data, padding, 1)
     n, c_in, length = xd_pad.shape
     c_out, c_in_w, k = weight.shape
     if c_in != c_in_w:
@@ -287,29 +473,30 @@ def conv1d(
     if l_out <= 0:
         raise ValueError(f"conv1d output length {l_out} <= 0 (L={length}, K={k})")
 
-    cols = _im2col_1d(xd_pad, k, stride)  # (N, L_out, C_in*K)
-    w2 = weight.data.reshape(c_out, c_in * k)  # (C_out, C_in*K)
-    out = cols @ w2.T  # (N, L_out, C_out)
-    out = out.transpose(0, 2, 1)  # (N, C_out, L_out)
+    cols = _im2col_1d(xd_pad, k, stride)  # (C_in*K, N*L_out), cached for backward
+    w2 = weight.data.reshape(c_out, c_in * k)
+    out2d = w2 @ cols  # (C_out, N*L_out) — one GEMM
     if bias is not None:
-        out = out + bias.data[None, :, None]
+        out2d += bias.data[:, None]
+    if act is not None:
+        act[0](out2d)
+    out = out2d.reshape(c_out, n, l_out).transpose(1, 0, 2)  # view
 
     x_shape = x.shape
-    cols_saved = cols
 
     def backward(g: np.ndarray):
-        # g: (N, C_out, L_out)
-        g_t = g.transpose(0, 2, 1)  # (N, L_out, C_out)
-        grad_w = np.tensordot(g_t, cols_saved, axes=([0, 1], [0, 1]))  # (C_out, C_in*K)
-        grad_w = grad_w.reshape(c_out, c_in, k)
-        grad_cols = g_t @ w2  # (N, L_out, C_in*K)
-        grad_cols = grad_cols.reshape(n, l_out, c_in, k)
+        if act is not None:
+            g = act[1](out, g)
+        g2d = g.transpose(1, 0, 2).reshape(c_out, n * l_out)  # copy once
+        grad_w = (g2d @ cols.T).reshape(c_out, c_in, k)
+        grad_cols = (w2.T @ g2d).reshape(c_in, k, n, l_out)
         grad_x_pad = np.zeros((n, c_in, length), dtype=g.dtype)
-        # Scatter-add each kernel tap back (K iterations, vectorized over N, L_out).
+        # One strided slice += per kernel tap: within a tap the target
+        # indices kk + stride*[0, l_out) are distinct, so no np.add.at.
+        span = (l_out - 1) * stride + 1
         for kk in range(k):
-            idx = np.arange(l_out) * stride + kk
-            np.add.at(grad_x_pad, (slice(None), slice(None), idx), grad_cols[:, :, :, kk].transpose(0, 2, 1))
-        grad_x = grad_x_pad[:, :, padding: length - padding] if padding > 0 else grad_x_pad
+            grad_x_pad[:, :, kk : kk + span : stride] += grad_cols[:, kk].transpose(1, 0, 2)
+        grad_x = grad_x_pad[:, :, padding : length - padding] if padding > 0 else grad_x_pad
         grad_b = g.sum(axis=(0, 2)) if bias is not None else None
         return (grad_x.reshape(x_shape), grad_w, grad_b)
 
@@ -335,12 +522,19 @@ def maxpool1d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
     arg = windows.argmax(axis=3)  # (N, C, L_out)
 
     def backward(g: np.ndarray):
-        grad = np.zeros_like(xd)
+        # np.zeros (not zeros_like): xd may be a non-contiguous view from
+        # an upstream op, and the flat scatter below needs the reshape to
+        # be a view, which only a C-contiguous buffer guarantees.
+        grad = np.zeros(xd.shape, dtype=xd.dtype)
         pos = arg + np.arange(l_out)[None, None, :] * stride  # absolute index into L
-        nn_idx, cc_idx = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
-        nn_idx = np.repeat(nn_idx[:, :, None], l_out, axis=2)
-        cc_idx = np.repeat(cc_idx[:, :, None], l_out, axis=2)
-        np.add.at(grad, (nn_idx, cc_idx, pos), g)
+        g2 = grad.reshape(n * c, length)
+        rows = np.arange(n * c)[:, None]
+        if stride >= pool:
+            # Disjoint windows: every (row, pos) target is unique, so a
+            # plain fancy-index assignment works — no np.add.at scatter.
+            g2[rows, pos.reshape(n * c, l_out)] = g.reshape(n * c, l_out)
+        else:
+            np.add.at(g2, (rows, pos.reshape(n * c, l_out)), g.reshape(n * c, l_out))
         return (grad,)
 
     return x._unary_out(out, backward)
@@ -364,9 +558,10 @@ def avgpool1d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
     def backward(g: np.ndarray):
         grad = np.zeros_like(xd)
         share = g / pool
+        # Strided slice += per tap — indices within a tap never collide.
+        span = (l_out - 1) * stride + 1
         for kk in range(pool):
-            idx = np.arange(l_out) * stride + kk
-            np.add.at(grad, (slice(None), slice(None), idx), share)
+            grad[:, :, kk : kk + span : stride] += share
         return (grad,)
 
     return x._unary_out(out, backward)
@@ -475,18 +670,18 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
 # 2-D convolution (tumor-imaging workloads) via im2col
 # ----------------------------------------------------------------------
 def _im2col_2d(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """(N, C, H, W) -> (N, H_out, W_out, C*kh*kw) strided patch matrix."""
+    """(N, C, H, W) -> (C*kh*kw, N*H_out*W_out) patch matrix ("kn" layout).
+
+    Same contract as :func:`_im2col_1d`: zero-copy window view, one copy at
+    the reshape, rows ordered (C, KH, KW) to match ``weight.reshape``.
+    """
     n, c, h, w = x.shape
     h_out = (h - kh) // stride + 1
     w_out = (w - kw) // stride + 1
-    s_n, s_c, s_h, s_w = x.strides
-    patches = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, h_out, w_out, c, kh, kw),
-        strides=(s_n, s_h * stride, s_w * stride, s_c, s_h, s_w),
-        writeable=False,
-    )
-    return patches.reshape(n, h_out, w_out, c * kh * kw)
+    win = sliding_window_view(x, (kh, kw), axis=(2, 3))  # (N, C, Ho_f, Wo_f, kh, kw)
+    if stride > 1:
+        win = win[:, :, ::stride, ::stride]
+    return win.transpose(1, 4, 5, 0, 2, 3).reshape(c * kh * kw, n * h_out * w_out)
 
 
 def conv2d(
@@ -495,17 +690,15 @@ def conv2d(
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    activation: Optional[str] = None,
 ) -> Tensor:
-    """2-D convolution.
+    """2-D convolution, optionally fused with a relu/tanh epilogue.
 
     Shapes: x (N, C_in, H, W), weight (C_out, C_in, KH, KW), bias (C_out,).
     Returns (N, C_out, H_out, W_out).
     """
-    xd = x.data
-    if padding > 0:
-        xd_pad = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    else:
-        xd_pad = xd
+    act = _fused_act(activation)
+    xd_pad = _pad_nd(x.data, padding, 2)
     n, c_in, h, w = xd_pad.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
@@ -515,31 +708,33 @@ def conv2d(
     if h_out <= 0 or w_out <= 0:
         raise ValueError(f"conv2d output {h_out}x{w_out} <= 0 (input {h}x{w}, kernel {kh}x{kw})")
 
-    cols = _im2col_2d(xd_pad, kh, kw, stride)  # (N, Ho, Wo, C*kh*kw)
+    cols = _im2col_2d(xd_pad, kh, kw, stride)  # (C*kh*kw, N*Ho*Wo), cached for backward
     w2 = weight.data.reshape(c_out, c_in * kh * kw)
-    out = cols @ w2.T  # (N, Ho, Wo, C_out)
-    out = out.transpose(0, 3, 1, 2)
+    out2d = w2 @ cols  # (C_out, N*Ho*Wo) — one GEMM
     if bias is not None:
-        out = out + bias.data[None, :, None, None]
+        out2d += bias.data[:, None]
+    if act is not None:
+        act[0](out2d)
+    out = out2d.reshape(c_out, n, h_out, w_out).transpose(1, 0, 2, 3)  # view
 
     x_shape = x.shape
-    cols_saved = cols
 
     def backward(g: np.ndarray):
-        g_t = g.transpose(0, 2, 3, 1)  # (N, Ho, Wo, C_out)
-        grad_w = np.tensordot(g_t, cols_saved, axes=([0, 1, 2], [0, 1, 2]))
-        grad_w = grad_w.reshape(c_out, c_in, kh, kw)
-        grad_cols = g_t @ w2  # (N, Ho, Wo, C*kh*kw)
-        grad_cols = grad_cols.reshape(n, h_out, w_out, c_in, kh, kw)
+        if act is not None:
+            g = act[1](out, g)
+        g2d = g.transpose(1, 0, 2, 3).reshape(c_out, n * h_out * w_out)  # copy once
+        grad_w = (g2d @ cols.T).reshape(c_out, c_in, kh, kw)
+        grad_cols = (w2.T @ g2d).reshape(c_in, kh, kw, n, h_out, w_out)
         grad_x_pad = np.zeros((n, c_in, h, w), dtype=g.dtype)
-        # Scatter-add per kernel tap (kh*kw iterations, vectorized elsewhere).
-        hi = np.arange(h_out) * stride
-        wi = np.arange(w_out) * stride
+        # One strided slice += per kernel tap; stride-uniform targets
+        # within a tap never collide, so no np.add.at scatter.
+        h_span = (h_out - 1) * stride + 1
+        w_span = (w_out - 1) * stride + 1
         for dh in range(kh):
             for dw in range(kw):
-                grad_x_pad[:, :, hi[:, None] + dh, wi[None, :] + dw] += grad_cols[
-                    :, :, :, :, dh, dw
-                ].transpose(0, 3, 1, 2)
+                grad_x_pad[
+                    :, :, dh : dh + h_span : stride, dw : dw + w_span : stride
+                ] += grad_cols[:, dh, dw].transpose(1, 0, 2, 3)
         if padding > 0:
             grad_x = grad_x_pad[:, :, padding : h - padding, padding : w - padding]
         else:
@@ -571,13 +766,21 @@ def maxpool2d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
     arg = flat.argmax(axis=4)  # flat index within the window
 
     def backward(g: np.ndarray):
-        grad = np.zeros_like(xd)
+        # C-contiguous zeros so the flat reshape below is a view (xd may
+        # be a non-contiguous transpose from conv2d).
+        grad = np.zeros(xd.shape, dtype=xd.dtype)
         dh, dw = np.divmod(arg, pool)
         hh = dh + np.arange(h_out)[None, None, :, None] * stride
         ww = dw + np.arange(w_out)[None, None, None, :] * stride
-        nn_idx = np.arange(n)[:, None, None, None]
-        cc_idx = np.arange(c)[None, :, None, None]
-        np.add.at(grad, (np.broadcast_to(nn_idx, arg.shape), np.broadcast_to(cc_idx, arg.shape), hh, ww), g)
+        # Flatten (H, W) so the scatter is a single 2-D fancy index.
+        pos = (hh * w + ww).reshape(n * c, h_out * w_out)
+        g2 = grad.reshape(n * c, h * w)
+        rows = np.arange(n * c)[:, None]
+        if stride >= pool:
+            # Disjoint windows: unique targets, plain assignment suffices.
+            g2[rows, pos] = g.reshape(n * c, h_out * w_out)
+        else:
+            np.add.at(g2, (rows, pos), g.reshape(n * c, h_out * w_out))
         return (grad,)
 
     return x._unary_out(out, backward)
@@ -586,3 +789,25 @@ def maxpool2d(x: Tensor, pool: int, stride: Optional[int] = None) -> Tensor:
 def global_avgpool2d(x: Tensor) -> Tensor:
     """Mean over (H, W) of (N, C, H, W) -> (N, C)."""
     return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Op-level instrumentation (see repro.perf)
+# ----------------------------------------------------------------------
+# Wrap the public ops so an attached OpProfiler sees every call.  With no
+# profiler active the wrapper is one global read + branch.  This runs at
+# the end of module init, so layers.py (imported after us) binds the
+# instrumented functions.
+from ..perf.hooks import instrument as _instrument  # noqa: E402
+
+_INSTRUMENTED_OPS = (
+    "relu", "tanh", "sigmoid", "leaky_relu", "elu", "gelu", "softplus",
+    "softmax", "log_softmax", "logsumexp",
+    "linear", "linear_act", "softmax_cross_entropy",
+    "dropout", "embedding", "batch_norm", "layer_norm",
+    "conv1d", "conv2d",
+    "maxpool1d", "avgpool1d", "maxpool2d",
+)
+for _name in _INSTRUMENTED_OPS:
+    globals()[_name] = _instrument(_name, globals()[_name])
+del _name

@@ -85,10 +85,12 @@ class Dense(Layer):
         self.built = True
 
     def forward(self, x: Tensor, training: bool = True) -> Tensor:
-        out = F.linear(x, self.weight, self.bias)
-        if self.activation is not None:
-            out = self.activation(out, training=training)
-        return out
+        kind = self.activation.kind if self.activation is not None else None
+        if kind in (None, "relu", "tanh"):
+            # Fused GEMM + bias + activation epilogue: one tape node.
+            return F.linear_act(x, self.weight, self.bias, activation=kind)
+        out = F.linear_act(x, self.weight, self.bias)
+        return self.activation(out, training=training)
 
     def parameters(self) -> Iterator[Tensor]:
         yield self.weight
@@ -267,6 +269,13 @@ class Conv1D(Layer):
         self.built = True
 
     def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        kind = self.activation.kind if self.activation is not None else None
+        if kind in ("relu", "tanh"):
+            # Fuse the activation epilogue into the conv node.
+            return F.conv1d(
+                x, self.weight, self.bias,
+                stride=self.stride, padding=self._pad_amount(), activation=kind,
+            )
         out = F.conv1d(x, self.weight, self.bias, stride=self.stride, padding=self._pad_amount())
         if self.activation is not None:
             out = self.activation(out, training=training)
@@ -404,6 +413,13 @@ class Conv2D(Layer):
         self.built = True
 
     def forward(self, x: Tensor, training: bool = True) -> Tensor:
+        kind = self.activation.kind if self.activation is not None else None
+        if kind in ("relu", "tanh"):
+            # Fuse the activation epilogue into the conv node.
+            return F.conv2d(
+                x, self.weight, self.bias,
+                stride=self.stride, padding=self._pad_amount(), activation=kind,
+            )
         out = F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self._pad_amount())
         if self.activation is not None:
             out = self.activation(out, training=training)

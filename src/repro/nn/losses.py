@@ -41,6 +41,20 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Softmax cross-entropy from raw logits.
 
     ``labels`` may be integer class ids (N,) or one-hot / soft labels (N, C).
+    Routed through the fused :func:`repro.nn.functional.softmax_cross_entropy`
+    (one tape node, ``(p - y)/n`` backward) when the logits are 2-D; see
+    :func:`cross_entropy_unfused` for the composed reference.
+    """
+    if logits.ndim == 2:
+        return F.softmax_cross_entropy(logits, labels)
+    return cross_entropy_unfused(logits, labels)
+
+
+def cross_entropy_unfused(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Reference composition: log-softmax node + gather node + mean.
+
+    Kept for gradcheck parity tests against the fused op and for logits
+    with more than two dimensions.
     """
     labels = np.asarray(labels)
     log_probs = F.log_softmax(logits, axis=-1)

@@ -8,8 +8,9 @@ heads, VAEs).
 
 from __future__ import annotations
 
+import contextlib
 import time
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, ContextManager, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,6 +120,7 @@ class Model:
         clip_norm: Optional[float] = None,
         step_hook: Optional[Callable[[int, float], None]] = None,
         grad_accumulation: int = 1,
+        profiler: Optional[ContextManager] = None,
     ) -> History:
         """Train the model; returns a :class:`History`.
 
@@ -130,6 +132,11 @@ class Model:
         mini-batches, averaging the k gradients first — the standard way
         to train with an effective batch k times larger than fits in
         memory (equivalent in expectation to a k-times-larger batch).
+
+        ``profiler`` is any context manager — typically a
+        :class:`repro.perf.OpProfiler` — entered for the duration of
+        training, so every instrumented op (including validation passes)
+        is attributed to it.
         """
         if grad_accumulation < 1:
             raise ValueError("grad_accumulation must be >= 1")
@@ -151,62 +158,63 @@ class Model:
         best_weights: Optional[List[np.ndarray]] = None
         patience_left = early_stopping_patience
 
-        for epoch in range(epochs):
-            t0 = time.perf_counter()
-            epoch_loss = 0.0
-            n_batches = 0
-            accum = 0
-            opt.zero_grad()
-            for xb, yb in loader:
-                xt = Tensor(xb)
-                target = xb if yb is None else yb
-                pred = self.forward(xt, training=True)
-                batch_loss = loss_fn(pred, target)
-                if grad_accumulation > 1:
-                    # Average (not sum) over the accumulation window.
-                    (batch_loss * (1.0 / grad_accumulation)).backward()
-                else:
-                    batch_loss.backward()
-                accum += 1
-                if accum >= grad_accumulation:
+        with profiler if profiler is not None else contextlib.nullcontext():
+            for epoch in range(epochs):
+                t0 = time.perf_counter()
+                epoch_loss = 0.0
+                n_batches = 0
+                accum = 0
+                opt.zero_grad()
+                for xb, yb in loader:
+                    xt = Tensor(xb)
+                    target = xb if yb is None else yb
+                    pred = self.forward(xt, training=True)
+                    batch_loss = loss_fn(pred, target)
+                    if grad_accumulation > 1:
+                        # Average (not sum) over the accumulation window.
+                        (batch_loss * (1.0 / grad_accumulation)).backward()
+                    else:
+                        batch_loss.backward()
+                    accum += 1
+                    if accum >= grad_accumulation:
+                        if clip_norm is not None:
+                            opt.clip_grad_norm(clip_norm)
+                        opt.step()
+                        opt.zero_grad()
+                        accum = 0
+                    epoch_loss += batch_loss.item()
+                    n_batches += 1
+                    if step_hook is not None:
+                        step_hook(getattr(opt, "step_count", n_batches), batch_loss.item())
+                if accum > 0:  # flush a trailing partial window
                     if clip_norm is not None:
                         opt.clip_grad_norm(clip_norm)
                     opt.step()
                     opt.zero_grad()
-                    accum = 0
-                epoch_loss += batch_loss.item()
-                n_batches += 1
-                if step_hook is not None:
-                    step_hook(getattr(opt, "step_count", n_batches), batch_loss.item())
-            if accum > 0:  # flush a trailing partial window
-                if clip_norm is not None:
-                    opt.clip_grad_norm(clip_norm)
-                opt.step()
-                opt.zero_grad()
-            record: Dict[str, float] = {
-                "loss": epoch_loss / max(n_batches, 1),
-                "time": time.perf_counter() - t0,
-            }
+                record: Dict[str, float] = {
+                    "loss": epoch_loss / max(n_batches, 1),
+                    "time": time.perf_counter() - t0,
+                }
 
-            if validation_data is not None:
-                x_val, y_val = validation_data
-                val_metrics = self.evaluate(x_val, y_val, loss=loss_fn, metrics=metrics, batch_size=batch_size)
-                record.update({f"val_{k}": v for k, v in val_metrics.items()})
-                val_loss = record["val_loss"]
-                if early_stopping_patience is not None:
-                    if val_loss < best_val - 1e-12:
-                        best_val = val_loss
-                        best_weights = self.get_weights()
-                        patience_left = early_stopping_patience
-                    else:
-                        patience_left -= 1
-                        if patience_left <= 0:
-                            history.append(**record)
-                            break
-            history.append(**record)
-            if verbose:
-                parts = " ".join(f"{k}={v:.4g}" for k, v in record.items())
-                print(f"epoch {epoch + 1}/{epochs}: {parts}")
+                if validation_data is not None:
+                    x_val, y_val = validation_data
+                    val_metrics = self.evaluate(x_val, y_val, loss=loss_fn, metrics=metrics, batch_size=batch_size)
+                    record.update({f"val_{k}": v for k, v in val_metrics.items()})
+                    val_loss = record["val_loss"]
+                    if early_stopping_patience is not None:
+                        if val_loss < best_val - 1e-12:
+                            best_val = val_loss
+                            best_weights = self.get_weights()
+                            patience_left = early_stopping_patience
+                        else:
+                            patience_left -= 1
+                            if patience_left <= 0:
+                                history.append(**record)
+                                break
+                history.append(**record)
+                if verbose:
+                    parts = " ".join(f"{k}={v:.4g}" for k, v in record.items())
+                    print(f"epoch {epoch + 1}/{epochs}: {parts}")
 
         if best_weights is not None and early_stopping_patience is not None:
             self.set_weights(best_weights)

@@ -3,6 +3,13 @@
 State (momentum buffers, Adam moments) lives in the optimizer, keyed by
 parameter identity, so the same parameter list can be re-optimized after a
 checkpoint restore.  All updates are in-place on ``param.data``.
+
+Update arithmetic runs through preallocated per-parameter scratch buffers
+(``out=`` ufunc forms) so ``step()`` allocates nothing after the first
+call.  The in-place sequences replicate the reference expressions
+factor-for-factor — IEEE-754 ``+``/``*`` are commutative (though not
+associative), so reordering commutative pairs keeps results bit-identical
+while reassociation would not.  ``p.grad`` itself is never written.
 """
 
 from __future__ import annotations
@@ -26,10 +33,21 @@ class Optimizer:
         self.lr = lr
         self.weight_decay = weight_decay
         self.step_count = 0
+        # Pure scratch (never serialized): per-param work buffers for the
+        # out= update arithmetic, plus a weight-decay staging buffer.
+        self._scratch: Dict[int, tuple] = {}
+        self._wd: Dict[int, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         for p in self.params:
             p.grad = None
+
+    def _scratch_pair(self, p: Tensor) -> tuple:
+        pair = self._scratch.get(id(p))
+        if pair is None or pair[0].shape != p.data.shape:
+            pair = (np.empty_like(p.data), np.empty_like(p.data))
+            self._scratch[id(p)] = pair
+        return pair
 
     def step(self) -> None:
         self.step_count += 1
@@ -38,7 +56,16 @@ class Optimizer:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                if grad.dtype == p.data.dtype:
+                    buf = self._wd.get(id(p))
+                    if buf is None or buf.shape != p.data.shape:
+                        buf = self._wd[id(p)] = np.empty_like(p.data)
+                    # grad + wd*p.data, staged so p.grad stays untouched.
+                    np.multiply(p.data, self.weight_decay, out=buf)
+                    np.add(buf, grad, out=buf)
+                    grad = buf
+                else:
+                    grad = grad + self.weight_decay * p.data
             self._update(p, grad)
 
     def _update(self, p: Tensor, grad: np.ndarray) -> None:
@@ -82,6 +109,19 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def _update(self, p: Tensor, grad: np.ndarray) -> None:
+        if grad.dtype != p.data.dtype:  # mixed-dtype fallback (rare)
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = self._velocity[id(p)] = np.zeros_like(p.data)
+                v *= self.momentum
+                v += grad
+                step = grad + self.momentum * v if self.nesterov else v
+            else:
+                step = grad
+            p.data -= self.lr * step
+            return
+        s, _ = self._scratch_pair(p)
         if self.momentum:
             v = self._velocity.get(id(p))
             if v is None:
@@ -89,10 +129,18 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = v
             v *= self.momentum
             v += grad
-            step = grad + self.momentum * v if self.nesterov else v
+            if self.nesterov:
+                np.multiply(v, self.momentum, out=s)  # momentum * v
+                np.add(s, grad, out=s)                # grad + momentum * v
+                step = s
+            else:
+                step = v
         else:
             step = grad
-        p.data -= self.lr * step
+        # p.data -= lr * step, staged through scratch so ``grad`` (possibly
+        # p.grad itself) is never written.
+        np.multiply(step, self.lr, out=s)
+        p.data -= s
 
 
 class Adam(Optimizer):
@@ -113,16 +161,40 @@ class Adam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
 
     def _update(self, p: Tensor, grad: np.ndarray) -> None:
-        m = self._m.setdefault(id(p), np.zeros_like(p.data))
-        v = self._v.setdefault(id(p), np.zeros_like(p.data))
-        m *= self.beta1
-        m += (1 - self.beta1) * grad
-        v *= self.beta2
-        v += (1 - self.beta2) * grad * grad
+        # .get + fill on miss, not setdefault: setdefault evaluates its
+        # zeros_like default on every call, allocating two dead buffers
+        # per parameter per step.
+        m = self._m.get(id(p))
+        if m is None:
+            m = self._m[id(p)] = np.zeros_like(p.data)
+        v = self._v.get(id(p))
+        if v is None:
+            v = self._v[id(p)] = np.zeros_like(p.data)
         t = self.step_count
-        m_hat = m / (1 - self.beta1 ** t)
-        v_hat = v / (1 - self.beta2 ** t)
-        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        if grad.dtype != p.data.dtype:  # mixed-dtype fallback (rare)
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            return
+        s1, s2 = self._scratch_pair(p)
+        m *= self.beta1
+        np.multiply(grad, 1 - self.beta1, out=s1)  # (1-b1) * grad
+        m += s1
+        v *= self.beta2
+        np.multiply(grad, 1 - self.beta2, out=s2)  # ((1-b2) * grad) * grad,
+        np.multiply(s2, grad, out=s2)              # same factor order as ref
+        v += s2
+        np.divide(m, 1 - self.beta1 ** t, out=s1)  # m_hat
+        np.divide(v, 1 - self.beta2 ** t, out=s2)  # v_hat
+        np.multiply(s1, self.lr, out=s1)           # lr * m_hat
+        np.sqrt(s2, out=s2)
+        s2 += self.eps
+        np.divide(s1, s2, out=s1)
+        p.data -= s1
 
 
 class RMSProp(Optimizer):
@@ -141,10 +213,24 @@ class RMSProp(Optimizer):
         self._sq: Dict[int, np.ndarray] = {}
 
     def _update(self, p: Tensor, grad: np.ndarray) -> None:
-        sq = self._sq.setdefault(id(p), np.zeros_like(p.data))
+        sq = self._sq.get(id(p))
+        if sq is None:  # avoid setdefault's per-call zeros_like
+            sq = self._sq[id(p)] = np.zeros_like(p.data)
+        if grad.dtype != p.data.dtype:  # mixed-dtype fallback (rare)
+            sq *= self.rho
+            sq += (1 - self.rho) * grad * grad
+            p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+            return
+        s1, s2 = self._scratch_pair(p)
         sq *= self.rho
-        sq += (1 - self.rho) * grad * grad
-        p.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+        np.multiply(grad, 1 - self.rho, out=s1)  # ((1-rho) * grad) * grad
+        np.multiply(s1, grad, out=s1)
+        sq += s1
+        np.multiply(grad, self.lr, out=s1)       # lr * grad
+        np.sqrt(sq, out=s2)
+        s2 += self.eps
+        np.divide(s1, s2, out=s1)
+        p.data -= s1
 
 
 class AdaGrad(Optimizer):
@@ -156,9 +242,21 @@ class AdaGrad(Optimizer):
         self._acc: Dict[int, np.ndarray] = {}
 
     def _update(self, p: Tensor, grad: np.ndarray) -> None:
-        acc = self._acc.setdefault(id(p), np.zeros_like(p.data))
-        acc += grad * grad
-        p.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
+        acc = self._acc.get(id(p))
+        if acc is None:  # avoid setdefault's per-call zeros_like
+            acc = self._acc[id(p)] = np.zeros_like(p.data)
+        if grad.dtype != p.data.dtype:  # mixed-dtype fallback (rare)
+            acc += grad * grad
+            p.data -= self.lr * grad / (np.sqrt(acc) + self.eps)
+            return
+        s1, s2 = self._scratch_pair(p)
+        np.multiply(grad, grad, out=s1)
+        acc += s1
+        np.multiply(grad, self.lr, out=s1)  # lr * grad
+        np.sqrt(acc, out=s2)
+        s2 += self.eps
+        np.divide(s1, s2, out=s1)
+        p.data -= s1
 
 
 OPTIMIZERS = {

@@ -30,6 +30,15 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 # through every op).  ``no_grad`` is used by evaluation loops.
 _GRAD_ENABLED = True
 
+# Count of tape (non-leaf) nodes created since process start.  The
+# inference fast path is verified against this: a forward pass under
+# ``no_grad`` must not grow it.
+_TAPE_NODES = 0
+
+# Cached all-ones seed gradients for scalar losses, keyed by (dtype, shape).
+# Scalar outputs only, so the cache stays a handful of 1-element arrays.
+_SEED_ONES: dict = {}
+
 
 class no_grad:
     """Context manager disabling graph construction (like torch.no_grad)."""
@@ -47,6 +56,15 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
+
+
+def tape_node_count() -> int:
+    """Number of graph (non-leaf) nodes created so far.
+
+    Unchanged across a ``no_grad`` forward pass — the assertion the
+    inference fast path is held to.
+    """
+    return _TAPE_NODES
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -120,6 +138,9 @@ class Tensor:
         self._parents: Tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
         self._backward_fn = backward_fn if self.requires_grad else None
         self.name = name
+        if self._parents:
+            global _TAPE_NODES
+            _TAPE_NODES += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -199,8 +220,20 @@ class Tensor:
                     f"backward() without an explicit gradient requires a scalar output, "
                     f"got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            # Preallocated-seed fast path: scalar losses reuse a cached
+            # all-ones array instead of allocating one per step.  The seed
+            # is never mutated (accumulation below copies before writing).
+            key = (self.data.dtype.str, self.data.shape)
+            grad = _SEED_ONES.get(key)
+            if grad is None:
+                grad = np.ones_like(self.data)
+                # Read-only: the cached seed may end up stored as a .grad;
+                # freezing it turns accidental in-place writes into errors
+                # instead of silently corrupting every later backward().
+                grad.flags.writeable = False
+                _SEED_ONES[key] = grad
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
 
         topo: List[Tensor] = []
         visited = set()
@@ -219,13 +252,29 @@ class Tensor:
                 if p.requires_grad and id(p) not in visited:
                     stack.append((p, False))
 
+        # ``owned`` marks accumulation buffers this pass allocated itself and
+        # may therefore mutate with in-place adds.  First contributions are
+        # stored as-is (they can alias closure internals or the seed), so
+        # the second contribution pays the one allocation and every further
+        # one is an in-place ``np.add``.
         grads = {id(self): grad}
+        owned = set()
         for node in reversed(topo):
             g = grads.pop(id(node), None)
             if g is None:
                 continue
             if node.grad is None:
-                node.grad = g.copy() if node._backward_fn is None else g
+                # Leaves (params) get an owned copy so cross-step
+                # accumulation below can run in place; non-leaf grads may
+                # share (same semantics as storing the closure output).
+                if node._backward_fn is None:
+                    node.grad = g if id(node) in owned else g.copy()
+                else:
+                    node.grad = g
+            elif node._backward_fn is None:
+                # Accumulate into the existing (owned) leaf buffer without
+                # reallocating — the grad-accumulation hot path.
+                np.add(node.grad, g, out=node.grad)
             else:
                 node.grad = node.grad + g
             if node._backward_fn is None:
@@ -234,10 +283,15 @@ class Tensor:
             for p, pg in zip(node._parents, parent_grads):
                 if pg is None or not p.requires_grad:
                     continue
-                if id(p) in grads:
-                    grads[id(p)] = grads[id(p)] + pg
+                key = id(p)
+                buf = grads.get(key)
+                if buf is None:
+                    grads[key] = pg
+                elif key in owned:
+                    np.add(buf, pg, out=buf)
                 else:
-                    grads[id(p)] = pg
+                    grads[key] = buf + pg
+                    owned.add(key)
         # Leaf-only .grad semantics would drop intermediate grads; we keep
         # them all (useful for attribution studies in the AMR workload).
 

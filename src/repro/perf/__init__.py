@@ -1,0 +1,18 @@
+"""Op-level performance measurement for the NumPy training engine.
+
+Split in three pieces so nothing here ever imports :mod:`repro.nn` (the
+nn ops import *us* to instrument themselves, and a cycle would deadlock
+module init):
+
+* :mod:`repro.perf.hooks` — the zero-dependency instrumentation shim the
+  functional ops wrap themselves with at import time;
+* :mod:`repro.perf.profiler` — :class:`OpProfiler`, the user-facing sink
+  collecting per-op wall time / call counts / bytes;
+* :mod:`repro.perf.bench` — the microbenchmark library behind
+  ``benchmarks/bench_kernels.py`` (imports nn lazily, inside functions).
+"""
+
+from .hooks import instrument, get_sink, set_sink
+from .profiler import OpProfiler, OpStat
+
+__all__ = ["instrument", "get_sink", "set_sink", "OpProfiler", "OpStat"]

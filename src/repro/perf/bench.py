@@ -1,0 +1,472 @@
+"""Kernel microbenchmark suite behind ``benchmarks/bench_kernels.py``.
+
+Measures the optimized engine against the frozen pre-optimization kernels
+in :mod:`repro.perf.reference` and verifies fused ops against their
+unfused compositions.  :func:`run_suite` returns a JSON-ready dict; the
+CLI in ``benchmarks/bench_kernels.py`` writes it to ``BENCH_kernels.json``
+so later PRs regress against recorded numbers instead of folklore.
+
+Sections
+--------
+* ``gemm`` — raw matmul throughput (the roofline anchor for E9);
+* ``conv1d_forward`` / ``conv2d_forward`` — new kn-layout single-GEMM
+  kernels vs the pre-PR N-major batched-matmul kernels;
+* ``fused`` — linear_act / softmax_cross_entropy vs their unfused
+  compositions: timing *and* output/gradient parity (the CI gate);
+* ``train_step`` — full MLP and CNN train steps (forward + backward +
+  optimizer) on the optimized engine vs a faithful pre-PR composition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from . import reference
+
+
+def _time_ms(fn: Callable[[], object], reps: int) -> float:
+    """Median-of-``reps`` wall time in milliseconds (after one warmup).
+
+    Median, not min: min-of-reps reports an allocation-heavy path's single
+    luckiest run (allocator pools fully warm), which both understates its
+    steady-state cost and is the least stable statistic across processes.
+    """
+    fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples)) * 1e3
+
+
+def _geomean(values: List[float]) -> float:
+    arr = np.asarray(values, dtype=np.float64)
+    return float(np.exp(np.log(arr).mean())) if arr.size else 0.0
+
+
+# ----------------------------------------------------------------------
+# GEMM
+# ----------------------------------------------------------------------
+def bench_gemm(smoke: bool, reps: int) -> List[Dict]:
+    shapes = [(64, 64, 64), (128, 256, 128)] if smoke else [
+        (256, 512, 256), (512, 1024, 512), (256, 4096, 1024),
+    ]
+    rng = np.random.default_rng(0)
+    rows = []
+    for m, k, n in shapes:
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        ms = _time_ms(lambda: a @ b, reps)
+        rows.append({
+            "shape": f"{m}x{k}x{n}",
+            "ms": ms,
+            "gflops": 2.0 * m * k * n / (ms * 1e-3) / 1e9,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Conv forward: optimized kernel vs frozen pre-PR kernel
+# ----------------------------------------------------------------------
+def bench_conv1d_forward(smoke: bool, reps: int) -> List[Dict]:
+    from ..nn import Tensor, no_grad
+    from ..nn import functional as F
+
+    shapes = [(8, 4, 64, 8, 3, 1, 1)] if smoke else [
+        (32, 4, 512, 16, 5, 1, 2),
+        (16, 8, 1024, 32, 7, 1, 3),
+        (32, 16, 256, 32, 3, 2, 0),
+    ]
+    rng = np.random.default_rng(1)
+    rows = []
+    for n, c, length, co, k, stride, pad in shapes:
+        x = rng.standard_normal((n, c, length))
+        w = rng.standard_normal((co, c, k))
+        b = rng.standard_normal(co)
+        xt, wt, bt = Tensor(x), Tensor(w), Tensor(b)
+        with no_grad():
+            new = F.conv1d(xt, wt, bt, stride=stride, padding=pad).data
+        ref = reference.conv1d_forward(x, w, b, stride=stride, padding=pad)
+        max_diff = float(np.abs(new - ref).max())
+
+        def run_new():
+            with no_grad():
+                F.conv1d(xt, wt, bt, stride=stride, padding=pad)
+
+        t_new = _time_ms(run_new, reps)
+        t_ref = _time_ms(lambda: reference.conv1d_forward(x, w, b, stride=stride, padding=pad), reps)
+        rows.append({
+            "shape": f"N{n} C{c} L{length} -> {co}f k{k} s{stride} p{pad}",
+            "ref_ms": t_ref, "new_ms": t_new,
+            "speedup": t_ref / t_new, "max_diff": max_diff,
+        })
+    return rows
+
+
+def bench_conv2d_forward(smoke: bool, reps: int) -> List[Dict]:
+    from ..nn import Tensor, no_grad
+    from ..nn import functional as F
+
+    shapes = [(4, 2, 16, 16, 4, 3, 1, 1)] if smoke else [
+        (16, 3, 32, 32, 16, 3, 1, 1),
+        (8, 8, 64, 64, 16, 3, 1, 1),
+        (32, 4, 28, 28, 12, 3, 1, 0),
+        (4, 16, 32, 32, 32, 3, 2, 1),
+    ]
+    rng = np.random.default_rng(2)
+    rows = []
+    for n, c, h, w_sp, co, k, stride, pad in shapes:
+        x = rng.standard_normal((n, c, h, w_sp))
+        w = rng.standard_normal((co, c, k, k))
+        b = rng.standard_normal(co)
+        xt, wt, bt = Tensor(x), Tensor(w), Tensor(b)
+        with no_grad():
+            new = F.conv2d(xt, wt, bt, stride=stride, padding=pad).data
+        ref = reference.conv2d_forward(x, w, b, stride=stride, padding=pad)
+        max_diff = float(np.abs(new - ref).max())
+
+        def run_new():
+            with no_grad():
+                F.conv2d(xt, wt, bt, stride=stride, padding=pad)
+
+        t_new = _time_ms(run_new, reps)
+        t_ref = _time_ms(lambda: reference.conv2d_forward(x, w, b, stride=stride, padding=pad), reps)
+        rows.append({
+            "shape": f"N{n} C{c} {h}x{w_sp} -> {co}f k{k} s{stride} p{pad}",
+            "ref_ms": t_ref, "new_ms": t_new,
+            "speedup": t_ref / t_new, "max_diff": max_diff,
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fused vs unfused (timing + parity — the CI mismatch gate)
+# ----------------------------------------------------------------------
+def bench_fused_vs_unfused(smoke: bool, reps: int, tol: float = 1e-6) -> Dict:
+    from ..nn import Tensor
+    from ..nn import functional as F
+    from ..nn.losses import cross_entropy_unfused
+
+    rng = np.random.default_rng(3)
+    n, d, u, classes = (64, 32, 16, 4) if smoke else (512, 256, 128, 10)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal((d, u)) / np.sqrt(d)
+    b = rng.standard_normal(u)
+
+    def fused_step():
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = F.linear_act(xt, wt, bt, activation="relu")
+        out.sum().backward()
+        return xt.grad, wt.grad, bt.grad, out.data
+
+    def unfused_step():
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = F.relu(xt @ wt + bt)
+        out.sum().backward()
+        return xt.grad, wt.grad, bt.grad, out.data
+
+    gf = fused_step()
+    gu = unfused_step()
+    linear_diff = max(float(np.abs(a - c).max()) for a, c in zip(gf, gu))
+    linear = {
+        "fused_ms": _time_ms(fused_step, reps),
+        "unfused_ms": _time_ms(unfused_step, reps),
+        "max_grad_diff": linear_diff,
+        "ok": linear_diff <= tol,
+    }
+    linear["speedup"] = linear["unfused_ms"] / linear["fused_ms"]
+
+    logits = rng.standard_normal((n, classes))
+    labels = rng.integers(0, classes, n)
+
+    def fused_ce():
+        zt = Tensor(logits, requires_grad=True)
+        F.softmax_cross_entropy(zt, labels).backward()
+        return zt.grad, None
+
+    def unfused_ce():
+        zt = Tensor(logits, requires_grad=True)
+        cross_entropy_unfused(zt, labels).backward()
+        return zt.grad, None
+
+    loss_f = float(F.softmax_cross_entropy(Tensor(logits, requires_grad=True), labels).data)
+    loss_u = float(cross_entropy_unfused(Tensor(logits, requires_grad=True), labels).data)
+    grad_f = fused_ce()[0]
+    grad_u = unfused_ce()[0]
+    ce_diff = max(abs(loss_f - loss_u), float(np.abs(grad_f - grad_u).max()))
+    ce = {
+        "fused_ms": _time_ms(fused_ce, reps),
+        "unfused_ms": _time_ms(unfused_ce, reps),
+        "max_diff": ce_diff,
+        "ok": ce_diff <= tol,
+    }
+    ce["speedup"] = ce["unfused_ms"] / ce["fused_ms"]
+    return {"linear_act": linear, "softmax_cross_entropy": ce, "tol": tol}
+
+
+# ----------------------------------------------------------------------
+# Full train steps: optimized engine vs pre-PR composition
+# ----------------------------------------------------------------------
+def _reference_conv2d_op(x, weight, bias, stride=1, padding=0):
+    """Tape node over the frozen pre-PR conv2d kernels (forward shape and
+    backward scatter identical to the seed engine)."""
+    from ..nn import Tensor
+
+    xd = x.data
+    if padding > 0:
+        xd_pad = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        xd_pad = xd
+    n = xd_pad.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    cols = reference.im2col_2d(xd_pad, kh, kw, stride)
+    w2 = weight.data.reshape(c_out, c_in * kh * kw)
+    out = (cols @ w2.T).transpose(0, 3, 1, 2) + bias.data[None, :, None, None]
+    padded_hw = xd_pad.shape[2:]
+
+    def backward(g):
+        grad_x, grad_w = reference.conv2d_backward(
+            g, cols, weight.data, padded_hw, n, stride=stride, padding=padding
+        )
+        return (grad_x, grad_w, g.sum(axis=(0, 2, 3)))
+
+    req = any(p.requires_grad for p in (x, weight, bias))
+    return Tensor(out, requires_grad=req, parents=(x, weight, bias), backward_fn=backward)
+
+
+def _mlp_step_pair(n, d, hidden, classes, reps):
+    """Time one MLP config: fused engine (linear_act + fused CE + in-place
+    Adam) vs the pre-PR composition (3 tape nodes per layer, unfused CE,
+    allocating Adam).  Returns a result row."""
+    from ..nn import Tensor
+    from ..nn import functional as F
+    from ..nn.losses import cross_entropy_unfused
+    from ..nn.optim import Adam
+
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((n, d))
+    y = rng.integers(0, classes, n)
+    dims = [d, *hidden, classes]
+    init = [
+        (rng.standard_normal((a, b)) / np.sqrt(a), np.zeros(b))
+        for a, b in zip(dims[:-1], dims[1:])
+    ]
+
+    # Optimized path ----------------------------------------------------
+    params_new = [Tensor(arr.copy(), requires_grad=True) for wb in init for arr in wb]
+    opt_new = Adam(params_new, lr=1e-3)
+
+    def new_step():
+        out = Tensor(x)
+        for i in range(0, len(params_new), 2):
+            act = "relu" if i < len(params_new) - 2 else None
+            out = F.linear_act(out, params_new[i], params_new[i + 1], activation=act)
+        loss = F.softmax_cross_entropy(out, y)
+        opt_new.zero_grad()
+        loss.backward()
+        opt_new.step()
+        return float(loss.data)
+
+    # Pre-PR composition ------------------------------------------------
+    params_ref = [Tensor(arr.copy(), requires_grad=True) for wb in init for arr in wb]
+    opt_ref = reference.AdamReference([p.shape for p in params_ref], lr=1e-3)
+
+    def ref_step():
+        out = Tensor(x)
+        for i in range(0, len(params_ref), 2):
+            out = out @ params_ref[i] + params_ref[i + 1]
+            if i < len(params_ref) - 2:
+                out = F.relu(out)
+        loss = cross_entropy_unfused(out, y)
+        for p in params_ref:
+            p.grad = None
+        reference.backward_pre(loss)
+        opt_ref.step([p.data for p in params_ref], [p.grad for p in params_ref])
+        return float(loss.data)
+
+    loss_new = new_step()
+    loss_ref = ref_step()
+    t_new = _time_ms(new_step, reps)
+    t_ref = _time_ms(ref_step, reps)
+    return {
+        "shape": f"N{n} {dims}",
+        "ref_ms": t_ref, "new_ms": t_new, "speedup": t_ref / t_new,
+        "first_loss_diff": abs(loss_new - loss_ref),
+    }
+
+
+def bench_mlp_train_step(smoke: bool, reps: int) -> List[Dict]:
+    """Full MLP train step over two regimes.
+
+    The first row is the acceptance shape: sized like the MLPs this repo's
+    experiments actually train (batch a few hundred, hidden dims in the
+    tens-to-hundreds), where engine overhead — tape nodes, temporaries,
+    optimizer allocations — is a real fraction of the step.  The second is
+    a deliberately GEMM-bound control: both engines issue the identical
+    BLAS calls there, so its ratio should sit near 1.0 and any large
+    deviation flags a measurement problem, not an engine win.
+    """
+    if smoke:
+        configs = [("acceptance", 128, 96, (48, 24), 6)]
+    else:
+        configs = [
+            ("acceptance", 256, 64, (64, 32), 10),
+            ("gemm-bound control", 128, 1024, (512, 256), 10),
+        ]
+    rows = []
+    for role, n, d, hidden, classes in configs:
+        # Sub-ms steps: extra reps are nearly free and pin the median down.
+        # Three full rounds, keep the median-speedup one — a single round
+        # is still exposed to allocator/page-cache luck on either side.
+        rounds = [_mlp_step_pair(n, d, hidden, classes, max(reps, 25)) for _ in range(3)]
+        row = sorted(rounds, key=lambda r: r["speedup"])[1]
+        row["role"] = role
+        rows.append(row)
+    return rows
+
+
+def bench_cnn_train_step(smoke: bool, reps: int) -> Dict:
+    """Full CNN train step (conv2d+relu -> maxpool -> flatten -> dense)
+    on the optimized engine vs the pre-PR conv composition."""
+    from ..nn import Tensor
+    from ..nn import functional as F
+    from ..nn.losses import cross_entropy_unfused
+    from ..nn.optim import Adam
+
+    rng = np.random.default_rng(5)
+    n, c, h, classes = (4, 1, 12, 3) if smoke else (16, 3, 28, 10)
+    filters, k = (4, 3) if smoke else (16, 3)
+    x = rng.standard_normal((n, c, h, h))
+    y = rng.integers(0, classes, n)
+    pooled = h // 2  # "same" padding (k odd) keeps h, then 2x2 pool
+    flat = filters * pooled * pooled
+    w_conv0 = rng.standard_normal((filters, c, k, k)) / np.sqrt(c * k * k)
+    b_conv0 = np.zeros(filters)
+    w_fc0 = rng.standard_normal((flat, classes)) / np.sqrt(flat)
+    b_fc0 = np.zeros(classes)
+
+    def make_params():
+        return [Tensor(a.copy(), requires_grad=True) for a in (w_conv0, b_conv0, w_fc0, b_fc0)]
+
+    params_new = make_params()
+    opt_new = Adam(params_new, lr=1e-3)
+
+    def new_step():
+        wc, bc, wf, bf = params_new
+        out = F.conv2d(Tensor(x), wc, bc, stride=1, padding=k // 2, activation="relu")
+        out = F.maxpool2d(out, 2)
+        out = out.flatten()
+        out = F.linear_act(out, wf, bf)
+        loss = F.softmax_cross_entropy(out, y)
+        opt_new.zero_grad()
+        loss.backward()
+        opt_new.step()
+        return float(loss.data)
+
+    params_ref = make_params()
+    opt_ref = reference.AdamReference([p.shape for p in params_ref], lr=1e-3)
+
+    def ref_step():
+        wc, bc, wf, bf = params_ref
+        out = _reference_conv2d_op(Tensor(x), wc, bc, stride=1, padding=k // 2)
+        out = F.relu(out)
+        out = F.maxpool2d(out, 2)
+        out = out.flatten()
+        out = out @ wf + bf
+        loss = cross_entropy_unfused(out, y)
+        for p in params_ref:
+            p.grad = None
+        reference.backward_pre(loss)
+        opt_ref.step([p.data for p in params_ref], [p.grad for p in params_ref])
+        return float(loss.data)
+
+    loss_new = new_step()
+    loss_ref = ref_step()
+    t_new = _time_ms(new_step, reps)
+    t_ref = _time_ms(ref_step, reps)
+    return {
+        "shape": f"N{n} C{c} {h}x{h} {filters}f k{k} -> {classes}",
+        "ref_ms": t_ref, "new_ms": t_new, "speedup": t_ref / t_new,
+        "first_loss_diff": abs(loss_new - loss_ref),
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_suite(smoke: bool = False, reps: Optional[int] = None) -> Dict:
+    """Run everything; returns a JSON-ready dict (see module docstring)."""
+    reps = reps if reps is not None else (3 if smoke else 10)
+    results: Dict = {
+        "meta": {"numpy": np.__version__, "smoke": smoke, "reps": reps},
+        "gemm": bench_gemm(smoke, reps),
+        "conv1d_forward": bench_conv1d_forward(smoke, reps),
+        "conv2d_forward": bench_conv2d_forward(smoke, reps),
+        "fused": bench_fused_vs_unfused(smoke, reps),
+        "train_step": {
+            "mlp": bench_mlp_train_step(smoke, reps),
+            "cnn": bench_cnn_train_step(smoke, reps),
+        },
+    }
+    conv_speedups = [r["speedup"] for r in results["conv2d_forward"]]
+    parity_ok = (
+        results["fused"]["linear_act"]["ok"]
+        and results["fused"]["softmax_cross_entropy"]["ok"]
+        and all(r["max_diff"] < 1e-9 for r in results["conv1d_forward"])
+        and all(r["max_diff"] < 1e-9 for r in results["conv2d_forward"])
+    )
+    mlp_rows = results["train_step"]["mlp"]
+    mlp_acceptance = next(r for r in mlp_rows if r["role"] == "acceptance")
+    results["acceptance"] = {
+        "conv2d_forward_speedup_geomean": _geomean(conv_speedups),
+        "mlp_train_step_speedup": mlp_acceptance["speedup"],
+        "cnn_train_step_speedup": results["train_step"]["cnn"]["speedup"],
+        "parity_ok": parity_ok,
+    }
+    return results
+
+
+def format_results(results: Dict) -> str:
+    """Compact human-readable report of a :func:`run_suite` dict."""
+    lines = [f"numpy {results['meta']['numpy']}  smoke={results['meta']['smoke']}  reps={results['meta']['reps']}"]
+    for section in ("conv1d_forward", "conv2d_forward"):
+        lines.append(f"-- {section}")
+        for r in results[section]:
+            lines.append(
+                f"   {r['shape']:<38} ref {r['ref_ms']:8.3f} ms  new {r['new_ms']:8.3f} ms  x{r['speedup']:.2f}"
+            )
+    lines.append("-- gemm")
+    for r in results["gemm"]:
+        lines.append(f"   {r['shape']:<38} {r['ms']:8.3f} ms  {r['gflops']:7.2f} GFLOP/s")
+    lines.append("-- fused vs unfused")
+    for name in ("linear_act", "softmax_cross_entropy"):
+        f = results["fused"][name]
+        lines.append(
+            f"   {name:<38} unfused {f['unfused_ms']:8.3f} ms  fused {f['fused_ms']:8.3f} ms"
+            f"  x{f['speedup']:.2f}  ok={f['ok']}"
+        )
+    lines.append("-- train step (fwd + bwd + optimizer)")
+    for r in results["train_step"]["mlp"]:
+        label = f"mlp [{r['role']}] {r['shape']}"
+        lines.append(
+            f"   {label:<38} ref {r['ref_ms']:8.3f} ms  new {r['new_ms']:8.3f} ms  x{r['speedup']:.2f}"
+        )
+    r = results["train_step"]["cnn"]
+    lines.append(
+        f"   {'cnn ' + r['shape']:<38} ref {r['ref_ms']:8.3f} ms  new {r['new_ms']:8.3f} ms  x{r['speedup']:.2f}"
+    )
+    acc = results["acceptance"]
+    lines.append(
+        f"-- acceptance: conv2d fwd x{acc['conv2d_forward_speedup_geomean']:.2f}, "
+        f"mlp step x{acc['mlp_train_step_speedup']:.2f}, "
+        f"cnn step x{acc['cnn_train_step_speedup']:.2f}, parity_ok={acc['parity_ok']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Per-op wall-time / call-count / allocation profiler.
+
+Usage::
+
+    from repro.perf import OpProfiler
+
+    prof = OpProfiler()
+    with prof:
+        model.fit(x, y, epochs=1, ...)
+    print(prof.table())
+
+or, for a model you don't train through ``fit``::
+
+    prof.attach(model)          # wraps model.forward
+    model(x)
+    prof.detach(model)
+
+The profiler is the *sink* for the instrumentation hooks in
+:mod:`repro.perf.hooks`; entering the context installs it, leaving
+restores whatever was installed before (contexts nest).
+
+Bytes are tracked two ways:
+
+* ``bytes_out`` — size of each op's output array, always on, free;
+* ``bytes_alloc`` — net allocation delta per call via :mod:`tracemalloc`
+  when constructed with ``track_alloc=True`` (order-of-magnitude slower;
+  use for memory audits, not timing runs).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from . import hooks
+
+
+@dataclass
+class OpStat:
+    """Accumulated statistics for one op name."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    bytes_out: int = 0
+    bytes_alloc: int = 0
+
+    def merge_call(self, dt: float, nbytes_out: int, nbytes_alloc: int) -> None:
+        self.calls += 1
+        self.total_s += dt
+        self.bytes_out += nbytes_out
+        self.bytes_alloc += nbytes_alloc
+
+
+def _output_nbytes(out: Any) -> int:
+    data = getattr(out, "data", None)
+    nbytes = getattr(data if data is not None else out, "nbytes", None)
+    return int(nbytes) if nbytes is not None else 0
+
+
+class OpProfiler:
+    """Collects per-op statistics from the instrumented functional ops."""
+
+    def __init__(self, track_alloc: bool = False) -> None:
+        self.track_alloc = track_alloc
+        self.stats: Dict[str, OpStat] = {}
+        self._prev_sink: Optional[Any] = None
+        self._started_tracemalloc = False
+        self._attached: Dict[int, Callable] = {}
+
+    # -- sink protocol (called by hooks.instrument wrappers) -------------
+    def record(self, name: str, fn: Callable, args: tuple, kwargs: dict) -> Any:
+        alloc0 = tracemalloc.get_traced_memory()[0] if self.track_alloc else 0
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        dt = time.perf_counter() - t0
+        alloc = (tracemalloc.get_traced_memory()[0] - alloc0) if self.track_alloc else 0
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStat()
+        stat.merge_call(dt, _output_nbytes(out), max(alloc, 0))
+        return out
+
+    # -- context management ----------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        if self.track_alloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._prev_sink = hooks.set_sink(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        hooks.set_sink(self._prev_sink)
+        self._prev_sink = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    # -- model attachment --------------------------------------------------
+    def attach(self, model: Any) -> Any:
+        """Wrap ``model.forward`` so every forward runs under this profiler.
+
+        Works with any object exposing ``forward`` (duck-typed; no import
+        of :mod:`repro.nn` here).  Returns the model for chaining.
+        """
+        key = id(model)
+        if key in self._attached:
+            return model
+        original = model.forward
+
+        def profiled_forward(*args, **kwargs):
+            with self:
+                return original(*args, **kwargs)
+
+        self._attached[key] = original
+        model.forward = profiled_forward
+        return model
+
+    def detach(self, model: Any) -> Any:
+        original = self._attached.pop(id(model), None)
+        if original is not None:
+            model.forward = original
+        return model
+
+    # -- reporting ---------------------------------------------------------
+    def reset(self) -> None:
+        self.stats.clear()
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.total_s for s in self.stats.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly snapshot, sorted by total time descending."""
+        items = sorted(self.stats.items(), key=lambda kv: kv[1].total_s, reverse=True)
+        return {
+            name: {
+                "calls": s.calls,
+                "total_s": s.total_s,
+                "mean_us": (s.total_s / s.calls * 1e6) if s.calls else 0.0,
+                "bytes_out": s.bytes_out,
+                "bytes_alloc": s.bytes_alloc,
+            }
+            for name, s in items
+        }
+
+    def table(self) -> str:
+        """Human-readable per-op breakdown (one line per op)."""
+        total = self.total_time or 1.0
+        lines = [
+            f"{'op':<24} {'calls':>7} {'total ms':>10} {'mean us':>10} {'%':>6} {'MB out':>9} {'MB alloc':>9}"
+        ]
+        for name, row in self.as_dict().items():
+            lines.append(
+                f"{name:<24} {row['calls']:>7d} {row['total_s'] * 1e3:>10.3f} "
+                f"{row['mean_us']:>10.1f} {row['total_s'] / total * 100:>5.1f}% "
+                f"{row['bytes_out'] / 1e6:>9.2f} {row['bytes_alloc'] / 1e6:>9.2f}"
+            )
+        return "\n".join(lines)

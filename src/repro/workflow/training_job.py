@@ -9,6 +9,7 @@ bridge.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -40,6 +41,10 @@ class TrainingReport:
     energy_joules: float
     final_loss: float
     resilience: Optional[ResilienceReport] = None
+    # Measured per-op wall-clock breakdown (repro.perf.OpProfiler.as_dict),
+    # populated when run_training_job(..., profile_ops=True): the measured
+    # counterpart to the modeled ``profile``/``sim_*`` numbers.
+    op_profile: Optional[Dict] = None
 
 
 def run_training_job(
@@ -56,6 +61,7 @@ def run_training_job(
     seed: int = 0,
     faults=None,
     checkpoint_dir=None,
+    profile_ops: bool = False,
 ) -> TrainingReport:
     """Train ``model`` for real; price every step on ``cluster``/``plan``.
 
@@ -68,13 +74,24 @@ def run_training_job(
     model on this cluster, survives the injected crash/NaN schedule, and
     the report's time/energy bill includes the replayed work, checkpoint
     writes and restart overheads (its ``resilience`` field itemizes them).
+
+    ``profile_ops=True`` attaches a :class:`repro.perf.OpProfiler` to the
+    training run and fills the report's ``op_profile`` with the measured
+    per-op breakdown — the empirical check on the ``sim_*`` cost model.
     """
     plan = plan or SingleNode()
     x = np.asarray(x)
     injector = as_injector(faults)
+    op_prof = None
+    if profile_ops:
+        from ..perf import OpProfiler
+
+        op_prof = OpProfiler()
 
     if injector is None:
-        history = model.fit(x, y, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed)
+        history = model.fit(
+            x, y, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed, profiler=op_prof
+        )
         profile = profile_model(model, x.shape[1:], batch_size=batch_size)
         _check_feasible(plan, profile, cluster, precision)
         step_t = plan.step_time(profile, cluster, precision)
@@ -89,6 +106,7 @@ def run_training_job(
             sim_total_time=epoch_t * len(history),
             energy_joules=energy,
             final_loss=history.series("loss")[-1],
+            op_profile=op_prof.as_dict() if op_prof is not None else None,
         )
 
     # Fault-tolerant path: price the machine first (the checkpoint cadence
@@ -106,16 +124,19 @@ def run_training_job(
         import tempfile
 
         checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
-    history, resilience = run_resilient_training(
-        model, x, y,
-        checkpoint_dir=checkpoint_dir,
-        epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed,
-        checkpoint_every=checkpoint_every,
-        injector=injector,
-        step_time_s=step_t,
-        checkpoint_time_s=ckpt_time,
-        restart_time_s=ckpt_time,  # reading the snapshot back mirrors writing it
-    )
+    # The profiler hooks ops globally (via the repro.perf sink), so
+    # wrapping the resilient loop catches its inner fit calls too.
+    with op_prof if op_prof is not None else contextlib.nullcontext():
+        history, resilience = run_resilient_training(
+            model, x, y,
+            checkpoint_dir=checkpoint_dir,
+            epochs=epochs, batch_size=batch_size, loss=loss, lr=lr, seed=seed,
+            checkpoint_every=checkpoint_every,
+            injector=injector,
+            step_time_s=step_t,
+            checkpoint_time_s=ckpt_time,
+            restart_time_s=ckpt_time,  # reading the snapshot back mirrors writing it
+        )
     steps_per_epoch = int(np.ceil(len(x) / batch_size))
     executed_steps = resilience.useful_steps + resilience.steps_replayed
     # Energy follows executed (not just useful) steps — replay burns watts.
@@ -129,6 +150,7 @@ def run_training_job(
         energy_joules=energy,
         final_loss=history.series("loss")[-1],
         resilience=resilience,
+        op_profile=op_prof.as_dict() if op_prof is not None else None,
     )
 
 

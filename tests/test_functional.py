@@ -315,3 +315,153 @@ def test_softmax_cross_entropy_consistency(n, c):
     entropy = -(sm * lsm).sum(axis=-1)
     assert np.all(entropy >= -1e-9)
     assert np.all(entropy <= np.log(c) + 1e-9)
+
+
+class TestFusedLinearAct:
+    def test_grad_x_w_b_all_activations(self):
+        for act in (None, "relu", "tanh"):
+            x = RNG.standard_normal((4, 5))
+            w = RNG.standard_normal((5, 3))
+            b = RNG.standard_normal(3)
+            check_grad_multi(
+                lambda a, ww, bb, act=act: F.linear_act(a, ww, bb, activation=act), [x, w, b]
+            )
+
+    def test_matches_unfused_composition(self):
+        x = RNG.standard_normal((6, 4))
+        w = RNG.standard_normal((4, 3))
+        b = RNG.standard_normal(3)
+        for act, unfused in (("relu", F.relu), ("tanh", F.tanh)):
+            xf, wf, bf = (Tensor(a.copy(), requires_grad=True) for a in (x, w, b))
+            fused = F.linear_act(xf, wf, bf, activation=act)
+            fused.sum().backward()
+            xu, wu, bu = (Tensor(a.copy(), requires_grad=True) for a in (x, w, b))
+            ref = unfused(F.linear(xu, wu, bu))
+            ref.sum().backward()
+            np.testing.assert_allclose(fused.data, ref.data, atol=1e-6)
+            for f, u in ((xf, xu), (wf, wu), (bf, bu)):
+                np.testing.assert_allclose(f.grad, u.grad, atol=1e-6)
+
+    def test_single_tape_node(self):
+        from repro.nn.tensor import tape_node_count
+
+        x = Tensor(RNG.standard_normal((4, 5)), requires_grad=True)
+        w = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(RNG.standard_normal(3), requires_grad=True)
+        before = tape_node_count()
+        F.linear_act(x, w, b, activation="relu")
+        assert tape_node_count() - before == 1
+
+    def test_unknown_activation_raises(self):
+        x = Tensor(RNG.standard_normal((2, 3)))
+        w = Tensor(RNG.standard_normal((3, 2)))
+        with pytest.raises(ValueError, match="unsupported fused activation"):
+            F.linear_act(x, w, activation="gelu")
+
+    def test_3d_falls_back(self):
+        x = RNG.standard_normal((2, 3, 4))
+        w = RNG.standard_normal((4, 5))
+        b = RNG.standard_normal(5)
+        check_grad_multi(lambda a, ww, bb: F.linear_act(a, ww, bb, activation="relu"), [x, w, b])
+
+
+class TestFusedSoftmaxCrossEntropy:
+    def test_grad_int_labels(self):
+        labels = np.array([0, 2, 1, 2])
+        check_grad(lambda z: F.softmax_cross_entropy(z, labels), RNG.standard_normal((4, 3)))
+
+    def test_grad_soft_labels(self):
+        soft = np.array([[0.7, 0.2, 0.1], [0.1, 0.1, 0.8], [0.3, 0.4, 0.3]])
+        check_grad(lambda z: F.softmax_cross_entropy(z, soft), RNG.standard_normal((3, 3)))
+
+    def test_matches_unfused_int_and_onehot(self):
+        from repro.nn.losses import cross_entropy_unfused
+
+        z = RNG.standard_normal((8, 5))
+        labels = RNG.integers(0, 5, 8)
+        onehot = np.eye(5)[labels]
+        for target in (labels, onehot):
+            zf = Tensor(z.copy(), requires_grad=True)
+            F.softmax_cross_entropy(zf, target).backward()
+            zu = Tensor(z.copy(), requires_grad=True)
+            cross_entropy_unfused(zu, target).backward()
+            np.testing.assert_allclose(zf.grad, zu.grad, atol=1e-6)
+
+    def test_extreme_logits_stable(self):
+        z = Tensor(np.array([[1000.0, -1000.0], [-1000.0, 1000.0]]), requires_grad=True)
+        loss = F.softmax_cross_entropy(z, np.array([0, 1]))
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert np.all(np.isfinite(z.grad))
+
+
+class TestConvStrideOddPadding:
+    def test_conv1d_stride3_odd_padding(self):
+        x = RNG.standard_normal((2, 2, 11))
+        w = RNG.standard_normal((3, 2, 3))
+        b = RNG.standard_normal(3)
+        check_grad_multi(lambda a, ww, bb: F.conv1d(a, ww, bb, stride=3, padding=1), [x, w, b])
+
+    def test_conv2d_stride2_odd_padding(self):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        b = RNG.standard_normal(3)
+        check_grad_multi(lambda a, ww, bb: F.conv2d(a, ww, bb, stride=2, padding=1), [x, w, b])
+
+    def test_conv2d_fused_activation_matches_unfused(self):
+        x = RNG.standard_normal((2, 2, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        b = RNG.standard_normal(3)
+        for act, unfused in (("relu", F.relu), ("tanh", F.tanh)):
+            xf, wf, bf = (Tensor(a.copy(), requires_grad=True) for a in (x, w, b))
+            fused = F.conv2d(xf, wf, bf, padding=1, activation=act)
+            fused.sum().backward()
+            xu, wu, bu = (Tensor(a.copy(), requires_grad=True) for a in (x, w, b))
+            ref = unfused(F.conv2d(xu, wu, bu, padding=1))
+            ref.sum().backward()
+            np.testing.assert_allclose(fused.data, ref.data, atol=1e-6)
+            for f, u in ((xf, xu), (wf, wu), (bf, bu)):
+                np.testing.assert_allclose(f.grad, u.grad, atol=1e-6)
+
+    def test_conv1d_fused_activation_grad(self):
+        x = RNG.standard_normal((2, 2, 8))
+        w = RNG.standard_normal((3, 2, 3))
+        check_grad_multi(
+            lambda a, ww: F.conv1d(a, ww, stride=2, padding=1, activation="tanh"), [x, w]
+        )
+
+
+class TestPoolNonContiguousInput:
+    # Regression: pool backward once built its scatter target with
+    # zeros_like (order='K'), whose reshape on conv's transposed-view
+    # output silently copies — dropping every scattered gradient.
+    def test_maxpool2d_grad_through_transposed_view(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+
+        def op(t):
+            return F.maxpool2d(t.transpose(0, 1, 3, 2), 2)
+
+        check_grad(op, x)
+
+    def test_conv2d_maxpool_chain_grad(self):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        check_grad_multi(lambda a, ww: F.maxpool2d(F.conv2d(a, ww, padding=1), 2), [x, w])
+
+
+class TestDropoutDtype:
+    def test_float32_mask_stays_float32(self):
+        x = Tensor(RNG.standard_normal((64, 32)).astype(np.float32), requires_grad=True)
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=True)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_float64_unchanged(self):
+        x = Tensor(RNG.standard_normal((64, 32)), requires_grad=True)
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=True)
+        assert out.data.dtype == np.float64
+        out.sum().backward()
+        assert x.grad.dtype == np.float64

@@ -269,3 +269,43 @@ class TestFocalLoss:
 
     def test_registered_in_losses(self):
         assert L.get("focal") is L.focal_loss_with_logits
+
+
+class TestOptimizerGradIntegrity:
+    """step() must never write through p.grad — the scratch-buffer update
+    forms stage everything through optimizer-owned memory."""
+
+    @pytest.mark.parametrize("make_opt", [
+        lambda ps: SGD(ps, lr=0.1),
+        lambda ps: SGD(ps, lr=0.1, momentum=0.9, nesterov=True),
+        lambda ps: SGD(ps, lr=0.1, weight_decay=0.01),
+        lambda ps: Adam(ps, lr=0.1, weight_decay=0.01),
+        lambda ps: RMSProp(ps, lr=0.1),
+        lambda ps: AdaGrad(ps, lr=0.1),
+    ])
+    def test_step_does_not_mutate_grad(self, make_opt):
+        p = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        opt = make_opt([p])
+        for _ in range(3):
+            p.grad = RNG.standard_normal((4, 3))
+            snapshot = p.grad.copy()
+            opt.step()
+            np.testing.assert_array_equal(p.grad, snapshot)
+
+    def test_step_allocates_nothing_after_warmup(self):
+        import tracemalloc
+
+        p = Tensor(RNG.standard_normal((64, 64)), requires_grad=True)
+        opt = Adam([p], lr=1e-3)
+        p.grad = RNG.standard_normal((64, 64))
+        opt.step()  # warmup: moments + scratch allocated here
+        opt.step()
+        tracemalloc.start()
+        before = tracemalloc.get_traced_memory()[0]
+        for _ in range(5):
+            opt.step()
+        after = tracemalloc.get_traced_memory()[0]
+        tracemalloc.stop()
+        # A handful of interpreter-level bytes is fine; array-sized
+        # allocations (64*64*8 = 32 KiB each) are not.
+        assert after - before < 16_384, f"steady-state step() allocated {after - before} bytes"

@@ -387,3 +387,29 @@ class TestGradAccumulation:
         m = Sequential([Dense(1)])
         with pytest.raises(ValueError):
             m.fit(x, y, epochs=1, grad_accumulation=0)
+
+
+class TestDataLoaderZeroCopy:
+    def test_sequential_batches_are_views(self):
+        x = RNG.standard_normal((64, 5))
+        y = RNG.standard_normal((64, 1))
+        loader = DataLoader(x, y, batch_size=16, shuffle=False)
+        for xb, yb in loader:
+            assert np.shares_memory(xb, x), "shuffle=False batch must be a zero-copy view"
+            assert np.shares_memory(yb, y)
+
+    def test_sequential_ragged_tail_is_view(self):
+        x = RNG.standard_normal((10, 3))
+        loader = DataLoader(x, batch_size=4, shuffle=False)
+        batches = [xb for xb, _ in loader]
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert all(np.shares_memory(b, x) for b in batches)
+        np.testing.assert_array_equal(np.concatenate(batches), x)
+
+    def test_shuffled_batches_still_copy(self):
+        # Fancy indexing must keep copying — a view is impossible for a
+        # permuted batch, and callers may mutate batches freely.
+        x = RNG.standard_normal((32, 3))
+        loader = DataLoader(x, batch_size=8, shuffle=True, rng=np.random.default_rng(0))
+        for xb, _ in loader:
+            assert not np.shares_memory(xb, x)

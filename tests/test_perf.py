@@ -1,0 +1,204 @@
+"""Tests for the op-level perf subsystem (repro.perf)."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn import Dense, Sequential, Tensor
+from repro.perf import OpProfiler, get_sink, instrument, set_sink
+from repro.perf import reference
+
+RNG = np.random.default_rng(99)
+
+
+class TestHooks:
+    def test_no_sink_passthrough(self):
+        def op(a, b):
+            return a + b
+
+        wrapped = instrument("op", op)
+        assert get_sink() is None
+        assert wrapped(2, 3) == 5
+        assert wrapped.__wrapped__ is op
+
+    def test_set_sink_returns_previous(self):
+        class Sink:
+            def record(self, name, fn, args, kwargs):
+                return fn(*args, **kwargs)
+
+        s = Sink()
+        prev = set_sink(s)
+        try:
+            assert get_sink() is s
+        finally:
+            set_sink(prev)
+        assert get_sink() is prev
+
+    def test_functional_ops_are_instrumented(self):
+        assert hasattr(F.relu, "__wrapped__")
+        assert hasattr(F.conv2d, "__wrapped__")
+        assert hasattr(F.linear_act, "__wrapped__")
+
+
+class TestOpProfiler:
+    def test_records_op_calls_and_time(self):
+        prof = OpProfiler()
+        x = Tensor(RNG.standard_normal((8, 4)), requires_grad=True)
+        w = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        with prof:
+            F.linear_act(x, w, activation="relu").sum().backward()
+            F.relu(x)
+        stats = prof.as_dict()
+        assert stats["linear_act"]["calls"] == 1
+        assert stats["relu"]["calls"] == 1
+        assert stats["linear_act"]["total_s"] >= 0.0
+        assert prof.total_time >= 0.0
+
+    def test_outside_context_records_nothing(self):
+        prof = OpProfiler()
+        with prof:
+            pass
+        F.relu(Tensor(RNG.standard_normal(4)))
+        assert prof.as_dict() == {}
+
+    def test_nesting_restores_outer_sink(self):
+        outer, inner = OpProfiler(), OpProfiler()
+        x = Tensor(RNG.standard_normal(4))
+        with outer:
+            F.relu(x)
+            with inner:
+                F.tanh(x)
+            F.relu(x)
+        assert outer.as_dict()["relu"]["calls"] == 2
+        assert "tanh" not in outer.as_dict()
+        assert inner.as_dict()["tanh"]["calls"] == 1
+        assert get_sink() is None
+
+    def test_attach_detach_model(self):
+        model = Sequential([Dense(6, activation="relu"), Dense(2)])
+        x = RNG.standard_normal((8, 4))
+        model.build(x.shape[1:], np.random.default_rng(0))
+        prof = OpProfiler()
+        prof.attach(model)
+        model(Tensor(x))
+        prof.detach(model)
+        model(Tensor(x))  # not recorded
+        stats = prof.as_dict()
+        assert stats["linear_act"]["calls"] == 2  # two Dense layers, one pass
+
+    def test_track_alloc_records_bytes(self):
+        prof = OpProfiler(track_alloc=True)
+        x = Tensor(RNG.standard_normal((64, 64)))
+        with prof:
+            F.relu(x)
+        s = prof.as_dict()["relu"]
+        assert s["bytes_out"] == 64 * 64 * 8
+        assert s["bytes_alloc"] > 0
+
+    def test_table_and_reset(self):
+        prof = OpProfiler()
+        with prof:
+            F.relu(Tensor(RNG.standard_normal(8)))
+        assert "relu" in prof.table()
+        prof.reset()
+        assert prof.as_dict() == {}
+
+    def test_fit_accepts_profiler(self):
+        model = Sequential([Dense(8, activation="relu"), Dense(1)])
+        x = RNG.standard_normal((32, 4))
+        y = RNG.standard_normal((32, 1))
+        prof = OpProfiler()
+        model.fit(x, y, epochs=1, batch_size=8, loss="mse", profiler=prof)
+        assert prof.as_dict()["linear_act"]["calls"] == 8  # 4 batches x 2 layers
+
+
+class TestReferenceKernels:
+    """The frozen pre-PR kernels must agree with the optimized engine —
+    they are the baseline the benchmarks diff against."""
+
+    def test_conv1d_forward_matches(self):
+        x = RNG.standard_normal((3, 2, 12))
+        w = RNG.standard_normal((4, 2, 3))
+        b = RNG.standard_normal(4)
+        new = F.conv1d(Tensor(x), Tensor(w), Tensor(b), stride=2, padding=1).data
+        ref = reference.conv1d_forward(x, w, b, stride=2, padding=1)
+        np.testing.assert_allclose(new, ref, atol=1e-12)
+
+    def test_conv2d_forward_matches(self):
+        x = RNG.standard_normal((2, 3, 9, 9))
+        w = RNG.standard_normal((4, 3, 3, 3))
+        b = RNG.standard_normal(4)
+        new = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=2, padding=1).data
+        ref = reference.conv2d_forward(x, w, b, stride=2, padding=1)
+        np.testing.assert_allclose(new, ref, atol=1e-12)
+
+    def test_conv2d_backward_matches(self):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        b = RNG.standard_normal(3)
+        stride, padding = 1, 1
+        xt, wt, bt = (Tensor(a.copy(), requires_grad=True) for a in (x, w, b))
+        out = F.conv2d(xt, wt, bt, stride=stride, padding=padding)
+        out.sum().backward()
+
+        xd_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        cols = reference.im2col_2d(xd_pad, 3, 3, stride)
+        g = np.ones(out.shape)
+        grad_x, grad_w = reference.conv2d_backward(
+            g, cols, w, xd_pad.shape[2:], x.shape[0], stride=stride, padding=padding
+        )
+        np.testing.assert_allclose(xt.grad, grad_x, atol=1e-10)
+        np.testing.assert_allclose(wt.grad, grad_w, atol=1e-10)
+
+    def test_cross_entropy_matches(self):
+        z = RNG.standard_normal((6, 4))
+        labels = RNG.integers(0, 4, 6)
+        zt = Tensor(z.copy(), requires_grad=True)
+        loss = F.softmax_cross_entropy(zt, labels)
+        loss.backward()
+        ref_loss, ref_grad = reference.cross_entropy_forward_backward(z, labels)
+        assert loss.item() == pytest.approx(ref_loss, abs=1e-10)
+        np.testing.assert_allclose(zt.grad, ref_grad, atol=1e-10)
+
+    def test_backward_pre_matches_current_engine(self):
+        x = RNG.standard_normal((5, 3))
+        w = RNG.standard_normal((3, 2))
+        xa, wa = Tensor(x.copy(), requires_grad=True), Tensor(w.copy(), requires_grad=True)
+        F.relu(xa @ wa).sum().backward()
+        xb, wb = Tensor(x.copy(), requires_grad=True), Tensor(w.copy(), requires_grad=True)
+        reference.backward_pre(F.relu(xb @ wb).sum())
+        np.testing.assert_allclose(xa.grad, xb.grad, atol=1e-12)
+        np.testing.assert_allclose(wa.grad, wb.grad, atol=1e-12)
+
+    def test_adam_reference_matches_inplace_adam(self):
+        from repro.nn.optim import Adam
+
+        p0 = RNG.standard_normal((4, 3))
+        grads = [RNG.standard_normal((4, 3)) for _ in range(5)]
+        p = Tensor(p0.copy(), requires_grad=True)
+        opt = Adam([p], lr=1e-2)
+        ref = reference.AdamReference([p0.shape], lr=1e-2)
+        arr = p0.copy()
+        for g in grads:
+            p.grad = g
+            opt.step()
+            ref.step([arr], [g])
+        np.testing.assert_array_equal(p.data, arr)
+
+
+class TestWorkflowProfileOps:
+    def test_training_report_op_profile(self):
+        from repro.hpc.cluster import SimCluster
+        from repro.workflow.training_job import run_training_job
+
+        model = Sequential([Dense(8, activation="relu"), Dense(1)])
+        x = RNG.standard_normal((48, 6))
+        y = RNG.standard_normal((48, 1))
+        cluster = SimCluster.build("summit_era", 1)
+        report = run_training_job(
+            model, x, y, cluster, epochs=1, batch_size=16, loss="mse", profile_ops=True
+        )
+        assert report.op_profile is not None
+        assert report.op_profile["linear_act"]["calls"] > 0
+        plain = run_training_job(model, x, y, cluster, epochs=1, batch_size=16, loss="mse")
+        assert plain.op_profile is None

@@ -337,3 +337,57 @@ class TestEdgeCases:
                         Dense(1, dtype=np.float32)])
         h = m.fit(x, y, epochs=10, lr=1e-2, seed=0)
         assert h.series("loss")[-1] < h.series("loss")[0]
+
+
+class TestTapeNodeCount:
+    def test_no_grad_builds_no_tape(self):
+        from repro.nn.tensor import tape_node_count
+
+        a = Tensor(RNG.standard_normal((4, 4)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((4, 4)), requires_grad=True)
+        before = tape_node_count()
+        with no_grad():
+            c = (a @ b + b).relu().sum()
+        assert tape_node_count() == before, "no_grad forward must skip tape construction"
+        assert not c.requires_grad
+        assert c._parents == ()
+
+    def test_grad_mode_counts_nodes(self):
+        from repro.nn.tensor import tape_node_count
+
+        a = Tensor(RNG.standard_normal((4, 4)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((4, 4)), requires_grad=True)
+        before = tape_node_count()
+        (a @ b + b).sum()  # matmul + add + sum
+        assert tape_node_count() - before == 3
+
+    def test_predict_is_tape_free(self):
+        from repro.nn import Dense, Sequential
+        from repro.nn.tensor import tape_node_count
+
+        model = Sequential([Dense(8, activation="relu"), Dense(2)])
+        x = RNG.standard_normal((16, 4))
+        model.build(x.shape[1:], np.random.default_rng(0))
+        before = tape_node_count()
+        model.predict(x)
+        assert tape_node_count() == before
+
+
+class TestSeedCacheSafety:
+    def test_repeated_backward_consistent(self):
+        a = Tensor(RNG.standard_normal(6), requires_grad=True)
+        (a * a).sum().backward()
+        first = a.grad.copy()
+        a.grad = None
+        (a * a).sum().backward()
+        np.testing.assert_array_equal(a.grad, first)
+
+    def test_scalar_grad_not_aliased_to_cache(self):
+        # The cached ones-seed is shared; leaf .grad must not alias it in
+        # a writable way.
+        a = Tensor(np.array(3.0), requires_grad=True)
+        a.backward()
+        a.grad += 1.0  # must not poison the seed cache
+        b = Tensor(np.array(5.0), requires_grad=True)
+        b.backward()
+        np.testing.assert_array_equal(b.grad, np.array(1.0))
