@@ -1,0 +1,90 @@
+"""Batched inference serving benchmark.
+
+Two entry points over :func:`repro.serve.bench.run_serving_bench`:
+
+* ``pytest benchmarks/bench_serving.py --benchmark-only -s`` — smoke-mode
+  run that prints the serving tables and *gates on correctness*: served
+  outputs bit-identical to ``Model.predict``, request accounting exactly
+  balanced, batching faster than unbatched.  Smoke request counts are
+  small, so the speedup gate is relaxed; the full-mode gate is 3x.
+* ``python benchmarks/bench_serving.py [--smoke] [--out PATH]`` — the
+  runner that emits ``BENCH_serving.json``; exits nonzero if any gate
+  fails.  Equivalent to ``python -m repro serve-bench``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import print_experiment  # noqa: E402
+from repro.serve.bench import format_results, run_serving_bench  # noqa: E402
+
+
+def test_serving_bench_smoke(benchmark):
+    import numpy as np
+
+    from repro.candle.registry import get_benchmark
+    from repro.serve import BatchPolicy, InferenceServer
+
+    results = run_serving_bench(smoke=True)
+    print_experiment("Serving benchmark (smoke request counts)", format_results(results))
+
+    acc = results["acceptance"]
+    assert acc["parity_ok"], "served outputs differ from Model.predict"
+    assert acc["accounting_ok"], "request accounting does not balance"
+    assert acc["speedup"] > 1.0, f"batching slower than unbatched: {acc['speedup']:.2f}x"
+    assert results["overload"]["shed"] > 0, "overload scenario shed nothing"
+
+    spec = get_benchmark("p1b2")
+    model = spec.materialize()
+    x = np.random.default_rng(0).standard_normal((64,) + spec.input_shape())
+    server = InferenceServer(model, BatchPolicy(max_batch_size=64, max_wait_s=0.0))
+
+    def serve_batch():
+        for i in range(len(x)):
+            server.submit(x[i])
+        return server.drain()
+
+    benchmark(serve_batch)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small request counts (CI)")
+    parser.add_argument("--requests", type=int, default=None, help="override request count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_serving.json",
+        help="output JSON path (default: repo-root BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_serving_bench(smoke=args.smoke, seed=args.seed, n_requests=args.requests)
+    print(format_results(results))
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    acc = results["acceptance"]
+    if not acc["parity_ok"]:
+        print("FAIL: served outputs differ from Model.predict", file=sys.stderr)
+        return 1
+    if not acc["accounting_ok"]:
+        print("FAIL: request accounting does not balance", file=sys.stderr)
+        return 1
+    if not acc["speedup_ok"]:
+        print(
+            f"FAIL: batched speedup {acc['speedup']:.2f}x below gate {acc['speedup_min']}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

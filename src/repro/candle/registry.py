@@ -36,6 +36,24 @@ class BenchmarkSpec:
     metric: str
     metric_mode: str  # 'max' or 'min'
 
+    def input_shape(self, seed: int = 0) -> tuple:
+        """Per-sample input shape, derived from the data generator."""
+        x, _ = self.make_data(seed=seed)
+        return tuple(np.asarray(x).shape[1:])
+
+    def materialize(self, input_shape: Optional[tuple] = None, seed: int = 0, **hparams):
+        """Build the benchmark model *and* run deferred layer construction.
+
+        ``Model.fit`` normally builds lazily from the training data; the
+        serving path loads checkpoints into models that never see a fit
+        call, so it needs a fully-built model up front.  ``input_shape``
+        defaults to the benchmark's own data shape.
+        """
+        model = self.build_model(**hparams)
+        shape = tuple(input_shape) if input_shape is not None else self.input_shape(seed=seed)
+        model.build(shape, np.random.default_rng(seed))
+        return model
+
 
 def _p1b1_data(seed: int = 0):
     x, _ = make_autoencoder_expression(n_samples=600, n_genes=200, latent_dim=10, seed=seed)

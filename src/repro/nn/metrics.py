@@ -134,24 +134,37 @@ def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
     """Area under the precision-recall curve (step interpolation).
 
     The imbalanced-screening companion to ROC AUC: sensitive to how many
-    of the *top-ranked* compounds are real hits.
+    of the *top-ranked* compounds are real hits.  Computed over distinct
+    score thresholds, so tied scores form one PR point and the result is
+    invariant to the input ordering of ties.
     """
     scores = np.asarray(scores).ravel()
     labels = np.asarray(labels).ravel().astype(bool)
     n_pos = int(labels.sum())
     if n_pos == 0:
         raise ValueError("average_precision requires at least one positive")
-    order = np.argsort(scores)[::-1]
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
     hits = labels[order].astype(np.float64)
-    cum_hits = np.cumsum(hits)
-    precision = cum_hits / np.arange(1, len(hits) + 1)
-    return float((precision * hits).sum() / n_pos)
+    cum_tp = np.cumsum(hits)
+    # Last index of each run of equal scores = one PR point per threshold.
+    block_end = np.nonzero(np.r_[sorted_scores[1:] != sorted_scores[:-1], True])[0]
+    tp = cum_tp[block_end]
+    precision = tp / (block_end + 1.0)
+    delta_tp = np.diff(np.r_[0.0, tp])
+    return float((precision * delta_tp).sum() / n_pos)
 
 
 def enrichment_factor(scores: np.ndarray, labels: np.ndarray, fraction: float = 0.01) -> float:
     """Virtual-screening enrichment: hit rate in the top ``fraction`` of
     ranked compounds divided by the overall hit rate (1.0 = no better
-    than random selection)."""
+    than random selection).
+
+    Items strictly above the cutoff score count fully; a tie block
+    straddling the cutoff contributes its mean hit rate for the
+    remaining slots, so the result does not depend on how a sort broke
+    ties.
+    """
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
     scores = np.asarray(scores).ravel()
@@ -160,8 +173,13 @@ def enrichment_factor(scores: np.ndarray, labels: np.ndarray, fraction: float = 
     if base_rate == 0:
         raise ValueError("enrichment requires at least one positive")
     k = max(1, int(round(len(scores) * fraction)))
-    top = np.argsort(scores)[::-1][:k]
-    return float(labels[top].mean() / base_rate)
+    cutoff = np.sort(scores)[::-1][k - 1]
+    above = scores > cutoff
+    tie = scores == cutoff
+    hits_above = float(labels[above].sum())
+    slots_left = k - int(above.sum())
+    expected_hits = hits_above + slots_left * float(labels[tie].sum()) / int(tie.sum())
+    return float((expected_hits / k) / base_rate)
 
 
 METRICS["average_precision"] = average_precision

@@ -92,8 +92,42 @@ class Model:
             x = Tensor(np.asarray(x))
         return self.forward(x, training=training)
 
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for a given per-sample input shape.
+
+        Follows the layer chain's ``output_shape`` declarations; custom
+        models without a ``self.layers`` stack must override this (or
+        support zero-length batches in ``forward``).
+        """
+        shape = tuple(input_shape)
+        if not self.layers:
+            raise NotImplementedError("override output_shape for custom topologies")
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def _empty_output(self, x: np.ndarray) -> np.ndarray:
+        """Correctly-shaped empty prediction for a zero-length input.
+
+        Shape comes from the layer chain when possible; strided kernels
+        (conv im2col) reject zero-length batches, so an empty forward
+        pass is only the fallback for custom topologies.
+        """
+        try:
+            shape = self.output_shape(np.asarray(x).shape[1:])
+        except NotImplementedError:
+            with no_grad():
+                return self.forward(Tensor(np.asarray(x)), training=False).data
+        return np.zeros((0,) + shape)
+
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Batched, grad-free forward pass."""
+        """Batched, grad-free forward pass.
+
+        A zero-length input returns a correctly-shaped empty array (the
+        serving layer drains queues that may be empty).
+        """
+        if len(x) == 0:
+            return self._empty_output(x)
         outs = []
         with no_grad():
             for start in range(0, len(x), batch_size):
@@ -132,6 +166,9 @@ class Model:
         mini-batches, averaging the k gradients first — the standard way
         to train with an effective batch k times larger than fits in
         memory (equivalent in expectation to a k-times-larger batch).
+        When the epoch's batch count is not a multiple of k, the trailing
+        window is shorter; its gradients are averaged over the *actual*
+        window length, so tail batches carry full weight.
 
         ``profiler`` is any context manager — typically a
         :class:`repro.perf.OpProfiler` — entered for the duration of
@@ -158,6 +195,13 @@ class Model:
         best_weights: Optional[List[np.ndarray]] = None
         patience_left = early_stopping_patience
 
+        # Window lengths for gradient averaging: every full window has
+        # grad_accumulation batches; the last window of the epoch may be
+        # shorter and must average over its own length, not k.
+        batches_per_epoch = len(loader)
+        full_window_batches = (batches_per_epoch // grad_accumulation) * grad_accumulation
+        trailing_window = batches_per_epoch - full_window_batches
+
         with profiler if profiler is not None else contextlib.nullcontext():
             for epoch in range(epochs):
                 t0 = time.perf_counter()
@@ -170,9 +214,14 @@ class Model:
                     target = xb if yb is None else yb
                     pred = self.forward(xt, training=True)
                     batch_loss = loss_fn(pred, target)
-                    if grad_accumulation > 1:
+                    window = (
+                        trailing_window
+                        if trailing_window and n_batches >= full_window_batches
+                        else grad_accumulation
+                    )
+                    if window > 1:
                         # Average (not sum) over the accumulation window.
-                        (batch_loss * (1.0 / grad_accumulation)).backward()
+                        (batch_loss * (1.0 / window)).backward()
                     else:
                         batch_loss.backward()
                     accum += 1
@@ -228,8 +277,16 @@ class Model:
         metrics: Sequence[str] = (),
         batch_size: int = 256,
     ) -> Dict[str, float]:
-        """Grad-free loss (+ metrics) over a dataset."""
+        """Grad-free loss (+ metrics) over a dataset.
+
+        A zero-length dataset reports zero loss and NaN metrics rather
+        than crashing on an empty concatenate.
+        """
         loss_fn = losses_mod.get(loss) if isinstance(loss, str) else loss
+        if len(x) == 0:
+            out = {"loss": 0.0}
+            out.update({name: float("nan") for name in metrics})
+            return out
         total = 0.0
         count = 0
         preds = []

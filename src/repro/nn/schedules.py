@@ -77,7 +77,14 @@ class WarmupCosine(Schedule):
 
 
 class ScheduledOptimizer:
-    """Wrap an optimizer so every ``step`` first updates its lr."""
+    """Wrap an optimizer so every ``step`` first updates its lr.
+
+    The wrapper is state-transparent: ``step_count`` (and any other
+    optimizer attribute — ``weight_decay``, moment dicts, ...) reads and
+    writes through to the wrapped optimizer, so the fit loop's
+    ``step_hook`` and the resilience checkpointing see the true step
+    state instead of falling back to a batch counter.
+    """
 
     def __init__(self, optimizer: Optimizer, schedule: Schedule) -> None:
         self.optimizer = optimizer
@@ -98,5 +105,24 @@ class ScheduledOptimizer:
     def params(self):
         return self.optimizer.params
 
+    @property
+    def step_count(self) -> int:
+        return self.optimizer.step_count
+
+    @step_count.setter
+    def step_count(self, value: int) -> None:
+        self.optimizer.step_count = value
+
     def clip_grad_norm(self, max_norm: float) -> float:
         return self.optimizer.clip_grad_norm(max_norm)
+
+    def grad_norm(self) -> float:
+        return self.optimizer.grad_norm()
+
+    def __getattr__(self, name: str):
+        # Anything not defined on the wrapper (weight_decay, moment
+        # dicts, scratch buffers) resolves against the inner optimizer.
+        opt = self.__dict__.get("optimizer")
+        if opt is None:
+            raise AttributeError(name)
+        return getattr(opt, name)

@@ -53,8 +53,22 @@ def load_weights(model: Model, path: Union[str, Path]) -> Dict:
     return meta["metadata"]
 
 
+def unwrap_optimizer(optimizer):
+    """Follow ``.optimizer`` links (e.g. :class:`ScheduledOptimizer`)
+    down to the base :class:`Optimizer` that owns the moment state."""
+    seen = set()
+    while optimizer is not None and not isinstance(optimizer, Optimizer):
+        inner = getattr(optimizer, "optimizer", None)
+        if inner is None or id(optimizer) in seen:
+            break
+        seen.add(id(optimizer))
+        optimizer = inner
+    return optimizer
+
+
 def _pack_optimizer(optimizer: Optional[Optimizer], arrays: Dict[str, np.ndarray]) -> Dict:
     """Append optimizer moment arrays to ``arrays``; return the JSON header."""
+    optimizer = unwrap_optimizer(optimizer)
     opt_state: Dict = {"type": None}
     if optimizer is not None:
         opt_state["type"] = type(optimizer).__name__
@@ -84,6 +98,7 @@ def _unpack_optimizer(optimizer: Optional[Optimizer], opt_state: Dict, data) -> 
     not kept — a run restored to a pre-first-step snapshot must not carry
     stale moments from the incarnation that died.
     """
+    optimizer = unwrap_optimizer(optimizer)
     if optimizer is None or opt_state.get("type") != type(optimizer).__name__:
         return
     optimizer.lr = opt_state["lr"]

@@ -62,8 +62,13 @@ def _output_nbytes(out: Any) -> int:
 class OpProfiler:
     """Collects per-op statistics from the instrumented functional ops."""
 
-    def __init__(self, track_alloc: bool = False) -> None:
+    def __init__(self, track_alloc: bool = False, keep_samples: bool = False) -> None:
         self.track_alloc = track_alloc
+        # keep_samples retains every per-call duration so tail latency
+        # (p50/p95/p99) can be reported — the serving layer's use case.
+        # Off by default: unbounded growth is wrong for long training runs.
+        self.keep_samples = keep_samples
+        self.samples: Dict[str, list] = {}
         self.stats: Dict[str, OpStat] = {}
         self._prev_sink: Optional[Any] = None
         self._started_tracemalloc = False
@@ -80,7 +85,21 @@ class OpProfiler:
         if stat is None:
             stat = self.stats[name] = OpStat()
         stat.merge_call(dt, _output_nbytes(out), max(alloc, 0))
+        if self.keep_samples:
+            self.samples.setdefault(name, []).append(dt)
         return out
+
+    def percentiles(self, name: str, qs: tuple = (50, 95, 99)) -> Dict[str, float]:
+        """Per-call duration percentiles (seconds) for one op name.
+
+        Requires ``keep_samples=True``; unknown ops return an empty dict.
+        """
+        samples = self.samples.get(name)
+        if not samples:
+            return {}
+        arr = sorted(samples)
+        n = len(arr)
+        return {f"p{q:g}": arr[min(n - 1, int(n * q / 100.0))] for q in qs}
 
     # -- context management ----------------------------------------------
     def __enter__(self) -> "OpProfiler":
@@ -126,6 +145,7 @@ class OpProfiler:
     # -- reporting ---------------------------------------------------------
     def reset(self) -> None:
         self.stats.clear()
+        self.samples.clear()
 
     @property
     def total_time(self) -> float:

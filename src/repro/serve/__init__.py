@@ -1,0 +1,45 @@
+"""Batched inference serving.
+
+The paper's driver workloads end in *inference campaigns* — screening
+millions of compounds, serving treatment-response predictions — so
+trained models need a serving layer, not just a fit loop.  This package
+provides one, built from the library's own parts:
+
+* :class:`MicroBatcher` / :class:`BatchPolicy` — deadline-aware
+  micro-batching (max-batch-size + max-wait) with a bounded queue, load
+  shedding, and per-request timeouts (the :mod:`repro.resilience`
+  overload idioms applied to serving);
+* :class:`ModelRegistry` / :func:`publish_model` — checkpoint-backed
+  model loading (via :mod:`repro.nn.serialization`) with an LRU weight
+  cache and warm-up;
+* :class:`InferenceServer` — the request front-end over the grad-free
+  ``no_grad`` predict path, instrumented for :class:`repro.perf.OpProfiler`;
+* :class:`LatencyHistogram` / :class:`ServingStats` — tail-latency and
+  request-accounting observability;
+* :func:`simulate_serving` / :func:`sweep_offered_load` — offered-load
+  experiments on the simulated clock (:class:`repro.hpc.events.EventLoop`);
+* :func:`repro.serve.bench.run_serving_bench` — the acceptance-gated
+  benchmark behind ``repro serve-bench`` / ``benchmarks/bench_serving.py``.
+"""
+
+from .batcher import BatchPolicy, MicroBatcher, Request
+from .metrics import LatencyHistogram, ServingStats
+from .registry import ModelRegistry, publish_model, read_checkpoint_meta
+from .server import InferenceServer
+from .simulate import AffineServiceTime, fit_service_time, simulate_serving, sweep_offered_load
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "Request",
+    "LatencyHistogram",
+    "ServingStats",
+    "ModelRegistry",
+    "publish_model",
+    "read_checkpoint_meta",
+    "InferenceServer",
+    "AffineServiceTime",
+    "fit_service_time",
+    "simulate_serving",
+    "sweep_offered_load",
+]

@@ -1,0 +1,160 @@
+"""Model registry: checkpoint-backed model loading with an LRU cache.
+
+A screening campaign serves many models (one per benchmark, per
+hyperparameter winner, per data release) from a shared checkpoint
+directory, but device memory holds only a few at once.  The registry
+maps ``name -> checkpoint`` and materializes models on demand:
+
+* :func:`publish_model` writes a *self-describing* checkpoint — weights
+  plus the benchmark name, hyperparameters, and input shape — via
+  :func:`repro.nn.serialization.save_weights`;
+* :class:`ModelRegistry.get` rebuilds the architecture from
+  :mod:`repro.candle.registry`, restores the weights, runs a warm-up
+  forward pass (so first-request latency excludes lazy buffer
+  allocation), and caches the built model under an LRU policy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..candle.registry import get_benchmark
+from ..nn.model import Model
+from ..nn.serialization import load_weights, save_weights
+from ..nn.tensor import no_grad
+
+
+def publish_model(
+    model: Model,
+    path: Union[str, Path],
+    benchmark: str,
+    input_shape: tuple,
+    hparams: Optional[Dict] = None,
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write a serving checkpoint that the registry can load by itself.
+
+    ``benchmark`` must name an entry of :data:`repro.candle.registry.REGISTRY`
+    (the registry rebuilds the architecture through its ``build_model``);
+    ``hparams`` are the builder kwargs the weights were trained with.
+    """
+    get_benchmark(benchmark)  # validate early, not at first request
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "benchmark": benchmark,
+        "input_shape": list(input_shape),
+        "hparams": hparams or {},
+        "extra": metadata or {},
+    }
+    save_weights(model, path, metadata=meta)
+    return path
+
+
+def read_checkpoint_meta(path: Union[str, Path]) -> Dict:
+    """Read just the serving metadata from a published checkpoint."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        header = json.loads(bytes(data["_meta"]).decode())
+    meta = header.get("metadata", {})
+    if "benchmark" not in meta or "input_shape" not in meta:
+        raise ValueError(f"{path} is not a serving checkpoint (use publish_model)")
+    return meta
+
+
+class ModelRegistry:
+    """Name -> built model, loaded from checkpoints, LRU-cached.
+
+    ``capacity`` bounds how many built models stay resident; getting an
+    uncached model beyond capacity evicts the least-recently-used one
+    (its weights reload from disk on next use — the checkpoint is the
+    source of truth, eviction loses nothing).
+    """
+
+    def __init__(self, capacity: int = 2, warmup: bool = True, warmup_batch: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.warmup = warmup
+        self.warmup_batch = warmup_batch
+        self._paths: Dict[str, Path] = {}
+        self._cache: "OrderedDict[str, Model]" = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    # -- catalog ---------------------------------------------------------
+    def register(self, name: str, path: Union[str, Path]) -> None:
+        """Add (or repoint) a served model name to a checkpoint path."""
+        path = Path(path)
+        if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+            path = path.with_suffix(path.suffix + ".npz")
+        if not path.exists():
+            raise FileNotFoundError(path)
+        self._paths[name] = path
+        # A repoint invalidates any cached build of the old weights.
+        self._cache.pop(name, None)
+
+    def scan(self, root: Union[str, Path]) -> int:
+        """Register every ``*.npz`` under ``root`` by file stem."""
+        count = 0
+        for path in sorted(Path(root).glob("*.npz")):
+            self.register(path.stem, path)
+            count += 1
+        return count
+
+    @property
+    def names(self):
+        return sorted(self._paths)
+
+    @property
+    def resident(self):
+        return list(self._cache)
+
+    # -- loading ---------------------------------------------------------
+    def get(self, name: str) -> Model:
+        """Return the built model for ``name``, loading it if needed."""
+        if name in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(name)
+            return self._cache[name]
+        if name not in self._paths:
+            raise KeyError(f"unknown model {name!r}; registered: {self.names}")
+        model = self._load(self._paths[name])
+        self._cache[name] = model
+        self._cache.move_to_end(name)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        return model
+
+    def _load(self, path: Path) -> Model:
+        meta = read_checkpoint_meta(path)
+        spec = get_benchmark(meta["benchmark"])
+        model = spec.materialize(input_shape=tuple(meta["input_shape"]), **meta["hparams"])
+        load_weights(model, path)
+        if self.warmup:
+            # One throwaway forward allocates every layer's scratch and
+            # triggers BLAS thread-pool spin-up off the request path.
+            x = np.zeros((self.warmup_batch,) + tuple(meta["input_shape"]))
+            with no_grad():
+                model.predict(x, batch_size=self.warmup_batch)
+        self.loads += 1
+        return model
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "registered": len(self._paths),
+            "resident": len(self._cache),
+            "loads": self.loads,
+            "hits": self.hits,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,176 @@
+"""Edge-case coverage for the screening metrics.
+
+* ``roc_auc`` midrank tie handling against a brute-force pairwise
+  reference (the rank statistic and the pairwise comparison count must
+  agree exactly, ties counted half).
+* ``average_precision`` / ``enrichment_factor`` determinism under tied
+  scores: the tie-aware definitions are invariant to any permutation of
+  the input, and boundary ``fraction`` values behave.
+* ``balanced_accuracy`` when a class never appears in the predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    average_precision,
+    balanced_accuracy,
+    enrichment_factor,
+    roc_auc,
+)
+
+
+def _roc_auc_pairwise(scores, labels):
+    """O(n^2) reference: P(score_pos > score_neg) + 0.5 P(tie)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    pos = scores[labels]
+    neg = scores[~labels]
+    wins = (pos[:, None] > neg[None, :]).sum()
+    ties = (pos[:, None] == neg[None, :]).sum()
+    return (wins + 0.5 * ties) / (len(pos) * len(neg))
+
+
+def _average_precision_bruteforce(scores, labels):
+    """Threshold-by-threshold AP: sum precision(t) * delta_recall(t)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    n_pos = labels.sum()
+    ap = 0.0
+    prev_tp = 0.0
+    for t in sorted(set(scores), reverse=True):
+        selected = scores >= t
+        tp = float((labels & selected).sum())
+        precision = tp / float(selected.sum())
+        ap += precision * (tp - prev_tp) / n_pos
+        prev_tp = tp
+    return ap
+
+
+class TestRocAucTies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_pairwise_reference_with_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        # Quantized scores force heavy ties, including pos/neg ties.
+        scores = np.round(rng.random(n) * 5) / 5.0
+        labels = rng.random(n) < 0.4
+        labels[0], labels[1] = True, False  # both classes present
+        got = roc_auc(scores, labels)
+        want = _roc_auc_pairwise(scores, labels)
+        assert got == pytest.approx(want, abs=1e-12)
+
+    def test_all_tied_scores_is_half(self):
+        scores = np.ones(10)
+        labels = np.array([1, 0] * 5)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=1e-12)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.arange(4.0), np.ones(4))
+
+
+class TestAveragePrecisionTies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_permutation_invariant_under_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 50
+        scores = np.round(rng.random(n) * 4) / 4.0
+        labels = rng.random(n) < 0.3
+        labels[0] = True
+        base = average_precision(scores, labels)
+        for _ in range(5):
+            perm = rng.permutation(n)
+            assert average_precision(scores[perm], labels[perm]) == pytest.approx(base, abs=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_threshold_bruteforce(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        n = 40
+        scores = np.round(rng.random(n) * 3) / 3.0
+        labels = rng.random(n) < 0.35
+        labels[0] = True
+        got = average_precision(scores, labels)
+        want = _average_precision_bruteforce(scores, labels)
+        assert got == pytest.approx(want, abs=1e-12)
+
+    def test_untied_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.3, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_requires_a_positive(self):
+        with pytest.raises(ValueError):
+            average_precision(np.arange(4.0), np.zeros(4))
+
+
+class TestEnrichmentFactor:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_permutation_invariant_under_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 80
+        scores = np.round(rng.random(n) * 3) / 3.0
+        labels = rng.random(n) < 0.2
+        labels[0] = True
+        for fraction in (0.05, 0.1, 0.5):
+            base = enrichment_factor(scores, labels, fraction)
+            for _ in range(5):
+                perm = rng.permutation(n)
+                assert enrichment_factor(scores[perm], labels[perm], fraction) == pytest.approx(base, abs=0)
+
+    def test_fraction_one_is_unity(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(30)
+        labels = rng.random(30) < 0.3
+        labels[0] = True
+        assert enrichment_factor(scores, labels, 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_tiny_fraction_selects_one(self):
+        # fraction small enough that round(n * fraction) == 0 still
+        # selects k=1: the single top-scored item.
+        scores = np.array([0.1, 0.9, 0.5, 0.2])
+        labels = np.array([0, 1, 0, 0])
+        got = enrichment_factor(scores, labels, 1e-6)
+        assert got == pytest.approx((1 / 1) / (1 / 4))
+
+    def test_tie_straddling_cutoff_uses_expected_hits(self):
+        # Top-2 cutoff lands inside a tie block of 3 (one hit among
+        # them): the second slot takes the block's mean hit rate 1/3.
+        scores = np.array([1.0, 0.5, 0.5, 0.5, 0.1, 0.1])
+        labels = np.array([0, 1, 0, 0, 1, 1])
+        k, n = 2, 6
+        expected_hits = 0 + 1 * (1 / 3)
+        want = (expected_hits / k) / (3 / n)
+        assert enrichment_factor(scores, labels, k / n) == pytest.approx(want, abs=1e-12)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            enrichment_factor(np.arange(4.0), np.array([1, 0, 0, 1]), 0.0)
+        with pytest.raises(ValueError):
+            enrichment_factor(np.arange(4.0), np.array([1, 0, 0, 1]), 1.5)
+
+    def test_requires_a_positive(self):
+        with pytest.raises(ValueError):
+            enrichment_factor(np.arange(4.0), np.zeros(4), 0.5)
+
+
+class TestBalancedAccuracyAbsentClass:
+    def test_class_absent_from_predictions(self):
+        # Class 2 exists in the labels but the model never predicts it:
+        # its recall is 0 and still averages in.
+        logits = np.zeros((6, 3))
+        logits[:, 0] = 1.0  # always predict class 0
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        got = balanced_accuracy(logits, labels)
+        assert got == pytest.approx((1.0 + 0.0 + 0.0) / 3)
+
+    def test_one_hot_labels(self):
+        logits = np.array([[2.0, 0.1], [0.1, 2.0], [2.0, 0.1], [2.0, 0.1]])
+        one_hot = np.array([[1, 0], [0, 1], [0, 1], [1, 0]])
+        # class 0: 2/2 right; class 1: 1/2 right.
+        assert balanced_accuracy(logits, one_hot) == pytest.approx(0.75)
+
+    def test_perfect(self):
+        logits = np.eye(4)
+        labels = np.arange(4)
+        assert balanced_accuracy(logits, labels) == pytest.approx(1.0)

@@ -1,0 +1,331 @@
+"""Tests for the batched inference serving subsystem (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.candle.registry import get_benchmark
+from repro.perf import OpProfiler
+from repro.serve import (
+    AffineServiceTime,
+    BatchPolicy,
+    InferenceServer,
+    LatencyHistogram,
+    MicroBatcher,
+    ModelRegistry,
+    Request,
+    ServingStats,
+    publish_model,
+    read_checkpoint_meta,
+    simulate_serving,
+    sweep_offered_load,
+)
+
+
+@pytest.fixture(scope="module")
+def p1b2_model():
+    return get_benchmark("p1b2").materialize()
+
+
+@pytest.fixture(scope="module")
+def p1b2_shape():
+    return get_benchmark("p1b2").input_shape()
+
+
+def _req(i, t, x=None):
+    return Request(request_id=i, x=np.zeros(1) if x is None else x, enqueue_time=t)
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_s=-1)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(timeout_s=0)
+
+
+class TestMicroBatcher:
+    def test_full_batch_triggers(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=4, max_wait_s=10.0))
+        for i in range(3):
+            b.offer(_req(i, t=0.0))
+        assert not b.ready(now=0.0)  # 3 < 4 and no wait elapsed
+        b.offer(_req(3, t=0.0))
+        assert b.ready(now=0.0)
+        batch, expired = b.take(now=0.0)
+        assert [r.request_id for r in batch] == [0, 1, 2, 3]
+        assert expired == [] and b.depth == 0
+
+    def test_max_wait_triggers_partial_batch(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=4, max_wait_s=0.5))
+        b.offer(_req(0, t=1.0))
+        assert not b.ready(now=1.2)
+        assert b.ready(now=1.5)
+        assert b.next_ready_time() == 1.5
+
+    def test_take_caps_at_max_batch(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=2, max_wait_s=0.0, max_queue=10))
+        for i in range(5):
+            b.offer(_req(i, t=0.0))
+        batch, _ = b.take(now=0.0)
+        assert len(batch) == 2 and b.depth == 3
+
+    def test_bounded_queue_sheds(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=4, max_queue=2))
+        assert b.offer(_req(0, t=0.0))
+        assert b.offer(_req(1, t=0.0))
+        rejected = _req(2, t=0.0)
+        assert not b.offer(rejected)
+        assert rejected.status == "shed"
+        assert b.depth == 2
+
+    def test_timeout_expires_in_take(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=4, max_wait_s=0.0, timeout_s=1.0))
+        b.offer(_req(0, t=0.0))
+        b.offer(_req(1, t=5.0))
+        batch, expired = b.take(now=5.5)
+        assert [r.request_id for r in expired] == [0]
+        assert expired[0].status == "timed_out"
+        assert [r.request_id for r in batch] == [1]
+
+    def test_fifo_order(self):
+        b = MicroBatcher(BatchPolicy(max_batch_size=8))
+        for i in range(5):
+            b.offer(_req(i, t=float(i)))
+        batch, _ = b.take(now=10.0)
+        assert [r.request_id for r in batch] == list(range(5))
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_samples(self):
+        h = LatencyHistogram()
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(0.01, size=2000)
+        for s in samples:
+            h.observe(float(s))
+        exact = np.percentile(samples, [50, 95, 99])
+        for q, want in zip((50, 95, 99), exact):
+            got = h.percentile(q)
+            # Bucket resolution is 2**0.25 — within ~19% of exact.
+            assert want / 1.25 <= got <= want * 1.25
+        assert h.n == 2000
+        assert h.mean == pytest.approx(samples.mean())
+        assert h.percentile(100) == pytest.approx(samples.max())
+
+    def test_empty_and_validation(self):
+        h = LatencyHistogram()
+        assert h.percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            h.observe(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_accounting_invariant_helper(self):
+        s = ServingStats()
+        s.submitted = 10
+        s.completed = 6
+        s.shed = 2
+        s.timed_out = 1
+        assert s.accounted(still_queued=1)
+        assert not s.accounted(still_queued=0)
+
+
+class TestInferenceServer:
+    def test_bit_identical_to_predict(self, p1b2_model, p1b2_shape):
+        x = np.random.default_rng(0).standard_normal((96,) + p1b2_shape)
+        server = InferenceServer(p1b2_model, BatchPolicy(max_batch_size=32, max_wait_s=0.0))
+        handles = [server.submit(x[i]) for i in range(len(x))]
+        server.drain()
+        served = np.stack([h.result for h in handles], axis=0)
+        reference = p1b2_model.predict(x, batch_size=32)
+        np.testing.assert_array_equal(served, reference)
+        assert server.stats.completed == len(x)
+        assert server.stats.accounted(still_queued=0)
+
+    def test_batches_follow_policy(self, p1b2_model, p1b2_shape):
+        x = np.random.default_rng(1).standard_normal((10,) + p1b2_shape)
+        server = InferenceServer(p1b2_model, BatchPolicy(max_batch_size=4, max_wait_s=0.0, max_queue=100))
+        for i in range(len(x)):
+            server.submit(x[i])
+        server.drain()
+        assert server.stats.batches == 3  # 4 + 4 + 2
+        assert server.stats.mean_batch_size == pytest.approx(10 / 3)
+        assert 0 < server.stats.occupancy(4) <= 1
+
+    def test_shed_on_full_queue(self, p1b2_model, p1b2_shape):
+        x = np.random.default_rng(2).standard_normal((8,) + p1b2_shape)
+        server = InferenceServer(p1b2_model, BatchPolicy(max_batch_size=4, max_wait_s=0.0, max_queue=4))
+        handles = [server.submit(x[i]) for i in range(8)]
+        assert server.stats.shed == 4
+        assert sum(1 for h in handles if h.status == "shed") == 4
+        server.drain()
+        assert server.stats.accounted(still_queued=0)
+
+    def test_timeout_in_queue(self, p1b2_model, p1b2_shape):
+        # Simulated clock so the timeout is exact, not sleep-based.
+        clock = {"t": 0.0}
+        server = InferenceServer(
+            p1b2_model,
+            BatchPolicy(max_batch_size=4, max_wait_s=0.0, timeout_s=0.5),
+            clock=lambda: clock["t"],
+        )
+        x = np.random.default_rng(3).standard_normal((2,) + p1b2_shape)
+        stale = server.submit(x[0])
+        clock["t"] = 1.0
+        fresh = server.submit(x[1])
+        server.step(force=True)
+        assert stale.status == "timed_out"
+        assert fresh.status == "completed"
+        assert server.stats.timed_out == 1
+        assert server.stats.accounted(still_queued=0)
+
+    def test_empty_drain_is_noop(self, p1b2_model):
+        server = InferenceServer(p1b2_model)
+        assert server.drain() == 0
+        assert server.step() == 0
+
+    def test_profiler_sees_serve_batch_op(self, p1b2_model, p1b2_shape):
+        prof = OpProfiler(keep_samples=True)
+        server = InferenceServer(p1b2_model, BatchPolicy(max_batch_size=8, max_wait_s=0.0), profiler=prof)
+        x = np.random.default_rng(4).standard_normal((16,) + p1b2_shape)
+        for i in range(len(x)):
+            server.submit(x[i])
+        server.drain()
+        assert prof.stats["serve.batch"].calls == 2
+        assert "linear_act" in prof.stats  # inner ops attributed too
+        assert prof.percentiles("serve.batch")  # keep_samples feeds tail latency
+        assert prof.percentiles("no_such_op") == {}
+
+
+class TestModelRegistry:
+    def _publish(self, tmp_path, name="p1b2", seed=0):
+        spec = get_benchmark(name)
+        shape = spec.input_shape(seed=seed)
+        model = spec.materialize(input_shape=shape, seed=seed)
+        path = publish_model(model, tmp_path / f"{name}.npz", name, shape)
+        return model, path, shape
+
+    def test_publish_load_roundtrip_identical(self, tmp_path):
+        model, path, shape = self._publish(tmp_path)
+        meta = read_checkpoint_meta(path)
+        assert meta["benchmark"] == "p1b2"
+        assert tuple(meta["input_shape"]) == shape
+
+        registry = ModelRegistry(capacity=2)
+        registry.register("p1b2", path)
+        loaded = registry.get("p1b2")
+        x = np.random.default_rng(0).standard_normal((16,) + shape)
+        np.testing.assert_array_equal(loaded.predict(x), model.predict(x))
+
+    def test_lru_eviction(self, tmp_path):
+        _, path_a, _ = self._publish(tmp_path, seed=0)
+        spec = get_benchmark("p1b2")
+        shape = spec.input_shape()
+        model_b = spec.materialize(input_shape=shape, seed=1)
+        path_b = publish_model(model_b, tmp_path / "b.npz", "p1b2", shape)
+
+        registry = ModelRegistry(capacity=1, warmup=False)
+        registry.register("a", path_a)
+        registry.register("b", path_b)
+        registry.get("a")
+        registry.get("b")  # evicts a
+        assert registry.resident == ["b"]
+        assert registry.evictions == 1
+        registry.get("a")  # reload from disk
+        assert registry.loads == 3
+        registry.get("a")  # cache hit
+        assert registry.hits == 1
+
+    def test_cache_hit_returns_same_object(self, tmp_path):
+        _, path, _ = self._publish(tmp_path)
+        registry = ModelRegistry(capacity=2, warmup=False)
+        registry.register("m", path)
+        assert registry.get("m") is registry.get("m")
+
+    def test_unknown_name(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.get("nope")
+        with pytest.raises(FileNotFoundError):
+            registry.register("x", tmp_path / "missing.npz")
+
+    def test_scan(self, tmp_path):
+        self._publish(tmp_path)
+        registry = ModelRegistry(warmup=False)
+        assert registry.scan(tmp_path) == 1
+        assert registry.names == ["p1b2"]
+
+    def test_non_serving_checkpoint_rejected(self, tmp_path, p1b2_model):
+        from repro.nn.serialization import save_weights
+
+        path = tmp_path / "raw.npz"
+        save_weights(p1b2_model, path)
+        with pytest.raises(ValueError):
+            read_checkpoint_meta(path)
+
+    def test_publish_validates_benchmark(self, tmp_path, p1b2_model):
+        with pytest.raises(ValueError):
+            publish_model(p1b2_model, tmp_path / "x.npz", "not_a_benchmark", (3,))
+
+
+class TestSimulatedServing:
+    POLICY = BatchPolicy(max_batch_size=16, max_wait_s=0.002, max_queue=64, timeout_s=0.5)
+    SERVICE = AffineServiceTime(base_s=1e-3, per_sample_s=1e-4)
+
+    def test_deterministic(self):
+        a = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=2000.0, n_requests=500, seed=7)
+        b = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=2000.0, n_requests=500, seed=7)
+        assert a == b
+
+    def test_accounting_always_balances(self):
+        for rate in (500.0, 5000.0, 50000.0):
+            out = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=rate, n_requests=400, seed=0)
+            assert out["accounted"], f"accounting broke at rate {rate}"
+            assert out["submitted"] == 400
+
+    def test_latency_grows_with_load(self):
+        low = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=1000.0, n_requests=800, seed=1)
+        high = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=20000.0, n_requests=800, seed=1)
+        assert high["latency"]["p99_s"] >= low["latency"]["p99_s"]
+        assert high["batches"] <= low["batches"]  # bigger batches under load
+
+    def test_overload_sheds(self):
+        # Peak throughput ~= 16 / (1e-3 + 16e-4) ~= 6150 rps; offering
+        # 10x that must shed at a bounded queue.
+        out = simulate_serving(self.POLICY, self.SERVICE, arrival_rate=60000.0, n_requests=2000, seed=2)
+        assert out["shed"] > 0
+        assert out["accounted"]
+        assert out["utilization"] <= 1.0
+
+    def test_sweep_shapes(self):
+        rows = sweep_offered_load(self.POLICY, self.SERVICE, rates=[1000.0, 4000.0], n_requests=200, seed=0)
+        assert len(rows) == 2
+        assert rows[0]["offered_rps"] == 1000.0
+        for row in rows:
+            assert row["accounted"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_serving(self.POLICY, self.SERVICE, arrival_rate=0.0, n_requests=10)
+        with pytest.raises(ValueError):
+            simulate_serving(self.POLICY, self.SERVICE, arrival_rate=1.0, n_requests=0)
+
+
+class TestServeBenchAndCli:
+    def test_cli_serve_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_serving.json"
+        code = main(["serve-bench", "--smoke", "--requests", "128", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "serving bench" in captured
+        import json
+
+        results = json.loads(out.read_text())
+        assert results["acceptance"]["parity_ok"]
+        assert results["acceptance"]["accounting_ok"]
+        assert results["overload"]["shed"] > 0
