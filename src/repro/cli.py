@@ -12,6 +12,10 @@ Commands
     Print how to regenerate the E1-E15 experiment tables.
 ``serve-bench``
     Run the batched-inference serving benchmark (writes BENCH_serving.json).
+``trace <trace.jsonl>``
+    Validate and summarize a recorded trace: per-span-kind time breakdown,
+    critical path, recorder overhead estimate; ``--chrome`` converts it
+    to a Chrome trace-event file for chrome://tracing / Perfetto.
 """
 
 from __future__ import annotations
@@ -118,6 +122,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        SchemaError, format_summary, read_jsonl, summarize_trace,
+        validate_trace, write_chrome_trace,
+    )
+
+    try:
+        records = read_jsonl(args.trace)
+        counts = validate_trace(records)
+    except (OSError, SchemaError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: valid trace "
+          f"({counts['span']} spans, {counts['event']} events, {counts['metric']} metrics)")
+    print()
+    print(format_summary(summarize_trace(records)))
+    if args.chrome:
+        out = write_chrome_trace(records, args.chrome)
+        print(f"\nwrote Chrome trace to {out} (load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     print("The experiment tables (E1-E15) are regenerated by the bench suite:")
     print("  pytest benchmarks/ --benchmark-only -s")
@@ -152,6 +178,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--out", default="BENCH_serving.json", help="output JSON path")
 
+    p_trace = sub.add_parser("trace", help="validate and summarize a recorded trace")
+    p_trace.add_argument("trace", help="path to a trace .jsonl file")
+    p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
+                         help="also convert to a Chrome trace-event file")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -159,6 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "price": _cmd_price,
         "experiments": _cmd_experiments,
         "serve-bench": _cmd_serve_bench,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

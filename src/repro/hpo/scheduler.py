@@ -11,6 +11,15 @@ retried with optional exponential backoff, stragglers stretch their
 slot, NaN objective values are quarantined (penalized, never fatal), and
 permanent worker loss shrinks the pool — the campaign always completes
 and reports what it survived via ``log.stats``.
+
+Observability: with a :class:`repro.obs.TraceRecorder` attached, every
+executed trial becomes an ``hpo.trial`` span (wall-clock interval of the
+real objective evaluation, sim-clock stamp from the event loop, attrs
+for trial id / attempt / worker / value), and retries, exhausted-retry
+give-ups, and NaN quarantines become events on the same timeline.  The
+recorder's sim clock is pointed at this scheduler's event loop for the
+duration of the search, so nested spans (the objective's ``fit`` spans)
+carry simulated timestamps too.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..hpc.events import EventLoop, WorkerPool
+from ..obs.context import get_recorder
 from ..resilience.faults import CRASH, NAN, STRAGGLER, WORKER_LOSS, FaultInjector
 from .results import ResultLog, Trial
 from .space import Config
@@ -36,6 +46,7 @@ def run_sequential(strategy: Strategy, objective: Objective, n_trials: int) -> R
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
     log = ResultLog()
+    rec = get_recorder()
     trial_id = 0
     stalls = 0
     while trial_id < n_trials:
@@ -51,7 +62,13 @@ def run_sequential(strategy: Strategy, objective: Objective, n_trials: int) -> R
                 break
             continue
         stalls = 0
+        if rec is not None:
+            span_id = rec.begin(
+                "trial", kind="hpo.trial", trial=trial_id, attempt=0, budget=sug.budget,
+            )
         value = objective(sug.config, sug.budget)
+        if rec is not None:
+            rec.end(span_id, value=value)
         strategy.tell(sug, value)
         log.add(Trial(trial_id=trial_id, config=sug.config, value=value, budget=sug.budget))
         trial_id += 1
@@ -67,11 +84,13 @@ def constant_cost(seconds: float = 1.0) -> CostModel:
     return model
 
 
-def _quarantine(value: float, stats: Dict[str, int]) -> float:
+def _quarantine(value: float, stats: Dict[str, int], rec=None, trial: Optional[int] = None) -> float:
     """NaN objective values are penalized, never propagated: a diverged
     trial must not crash the campaign or poison the strategy's model."""
     if np.isnan(value):
         stats["quarantined"] += 1
+        if rec is not None:
+            rec.event("quarantine", kind="hpo.quarantine", trial=trial, source="objective")
         return float("inf")
     return value
 
@@ -134,6 +153,15 @@ def run_parallel(
     stats = log.stats
     stats.update({"failures": 0, "retries": 0, "quarantined": 0, "workers_lost": 0})
 
+    # Point the attached recorder's sim clock at this search's event loop
+    # so every span recorded during the search (trials, and the fit
+    # spans nested inside them) carries simulated timestamps; restored on
+    # the way out (the finally blocks below guard both exits).
+    rec = get_recorder()
+    prev_sim_clock = rec.sim_clock if rec is not None else None
+    if rec is not None:
+        rec.sim_clock = lambda: loop.now
+
     def attempt_fault(tid: int, attempt: int) -> Optional[str]:
         """Fault for one execution attempt, from whichever source is on."""
         if injector is not None:
@@ -146,67 +174,96 @@ def run_parallel(
     loss_times = sorted(injector.worker_loss_times) if injector is not None else []
 
     if sync:
-        launched = 0
-        alive = n_workers
-        pending_losses = list(loss_times)
-        while launched < n_trials:
-            # Permanent node losses that have occurred shrink the wave.
-            while pending_losses and pending_losses[0] <= loop.now and alive > 1:
-                pending_losses.pop(0)
-                alive -= 1
-                stats["workers_lost"] += 1
-                injector.record(WORKER_LOSS)
-            batch: List[Suggestion] = []
-            for _ in range(min(alive, n_trials - launched)):
-                sug = strategy.ask()
-                if sug is None:
+        try:
+            launched = 0
+            alive = n_workers
+            pending_losses = list(loss_times)
+            while launched < n_trials:
+                # Permanent node losses that have occurred shrink the wave.
+                while pending_losses and pending_losses[0] <= loop.now and alive > 1:
+                    pending_losses.pop(0)
+                    alive -= 1
+                    stats["workers_lost"] += 1
+                    injector.record(WORKER_LOSS)
+                batch: List[Suggestion] = []
+                for _ in range(min(alive, n_trials - launched)):
+                    sug = strategy.ask()
+                    if sug is None:
+                        break
+                    batch.append(sug)
+                if not batch:
                     break
-                batch.append(sug)
-            if not batch:
-                break
-            # Each slot runs its trial to completion (crashes burn the
-            # attempt and retry in place); the barrier waits for the
-            # slowest slot, so one failing straggler stalls the wave —
-            # the BSP cost the async scheduler avoids.
-            outcomes = []
-            slot_times = []
-            for slot, sug in enumerate(batch):
-                tid = launched + slot
-                duration = cost(sug.config, sug.budget)
-                elapsed = 0.0
-                attempt = 0
-                while True:
-                    kind = attempt_fault(tid, attempt)
-                    burn = duration * (straggler_factor if kind == STRAGGLER else 1.0)
-                    elapsed += burn
-                    if kind == CRASH:
-                        stats["failures"] += 1
-                        if attempt < max_retries:
-                            attempt += 1
-                            stats["retries"] += 1
-                            elapsed += retry_backoff * (2.0 ** (attempt - 1))
-                            continue
-                        value = float("inf")
-                    elif kind == NAN:
-                        stats["quarantined"] += 1
-                        value = float("inf")
-                    else:
-                        value = _quarantine(objective(sug.config, sug.budget), stats)
-                    break
-                outcomes.append((sug, value, slot))
-                slot_times.append(elapsed)
-            loop.now += max(slot_times)
-            # The barrier: results land, the strategy learns, all at once.
-            for sug, value, slot in outcomes:
-                strategy.tell(sug, value)
-                log.add(
-                    Trial(
-                        trial_id=launched, config=sug.config, value=value,
-                        budget=sug.budget, sim_time=loop.now, worker=slot,
+                # Each slot runs its trial to completion (crashes burn the
+                # attempt and retry in place); the barrier waits for the
+                # slowest slot, so one failing straggler stalls the wave —
+                # the BSP cost the async scheduler avoids.
+                outcomes = []
+                slot_times = []
+                for slot, sug in enumerate(batch):
+                    tid = launched + slot
+                    duration = cost(sug.config, sug.budget)
+                    elapsed = 0.0
+                    attempt = 0
+                    while True:
+                        kind = attempt_fault(tid, attempt)
+                        burn = duration * (straggler_factor if kind == STRAGGLER else 1.0)
+                        elapsed += burn
+                        if kind == CRASH:
+                            stats["failures"] += 1
+                            if attempt < max_retries:
+                                attempt += 1
+                                stats["retries"] += 1
+                                elapsed += retry_backoff * (2.0 ** (attempt - 1))
+                                if rec is not None:
+                                    rec.event(
+                                        "retry", kind="hpo.retry",
+                                        trial=tid, attempt=attempt, worker=slot,
+                                    )
+                                continue
+                            value = float("inf")
+                            if rec is not None:
+                                rec.event(
+                                    "retries_exhausted", kind="hpo.giveup",
+                                    trial=tid, attempts=attempt + 1, worker=slot,
+                                )
+                        elif kind == NAN:
+                            stats["quarantined"] += 1
+                            value = float("inf")
+                            if rec is not None:
+                                rec.event(
+                                    "quarantine", kind="hpo.quarantine",
+                                    trial=tid, source="injected",
+                                )
+                        else:
+                            if rec is not None:
+                                span_id = rec.begin(
+                                    "trial", kind="hpo.trial",
+                                    trial=tid, attempt=attempt, worker=slot,
+                                    budget=sug.budget, sim_duration=burn,
+                                )
+                            value = _quarantine(
+                                objective(sug.config, sug.budget), stats, rec, tid
+                            )
+                            if rec is not None:
+                                rec.end(span_id, value=value)
+                        break
+                    outcomes.append((sug, value, slot))
+                    slot_times.append(elapsed)
+                loop.now += max(slot_times)
+                # The barrier: results land, the strategy learns, all at once.
+                for sug, value, slot in outcomes:
+                    strategy.tell(sug, value)
+                    log.add(
+                        Trial(
+                            trial_id=launched, config=sug.config, value=value,
+                            budget=sug.budget, sim_time=loop.now, worker=slot,
+                        )
                     )
-                )
-                launched += 1
-        return log
+                    launched += 1
+            return log
+        finally:
+            if rec is not None:
+                rec.sim_clock = prev_sim_clock
 
     pool = WorkerPool(loop, n_workers)
     state = {"launched": 0, "completed": 0}
@@ -230,6 +287,11 @@ def run_parallel(
                 stats["failures"] += 1
                 stats["retries"] += 1
                 backoff = retry_backoff * (2.0 ** attempt)
+                if rec is not None:
+                    rec.event(
+                        "retry", kind="hpo.retry",
+                        trial=tid, attempt=attempt + 1, worker=worker_id, backoff=backoff,
+                    )
                 if backoff > 0:
                     loop.schedule(backoff, lambda: submit(sug, tid, attempt + 1))
                 else:
@@ -241,11 +303,28 @@ def run_parallel(
             if kind == CRASH:
                 stats["failures"] += 1
                 value = float("inf")  # retries exhausted
+                if rec is not None:
+                    rec.event(
+                        "retries_exhausted", kind="hpo.giveup",
+                        trial=tid, attempts=attempt + 1, worker=worker_id,
+                    )
             elif kind == NAN:
                 stats["quarantined"] += 1
                 value = float("inf")  # quarantined, not fatal
+                if rec is not None:
+                    rec.event(
+                        "quarantine", kind="hpo.quarantine", trial=tid, source="injected",
+                    )
             else:
-                value = _quarantine(objective(sug.config, sug.budget), stats)
+                if rec is not None:
+                    span_id = rec.begin(
+                        "trial", kind="hpo.trial",
+                        trial=tid, attempt=attempt, worker=worker_id,
+                        budget=sug.budget, sim_duration=duration,
+                    )
+                value = _quarantine(objective(sug.config, sug.budget), stats, rec, tid)
+                if rec is not None:
+                    rec.end(span_id, value=value)
             strategy.tell(sug, value)
             log.add(
                 Trial(
@@ -279,8 +358,12 @@ def run_parallel(
         submit(sug, tid, attempt=0)
         return True
 
-    # Prime the pool.
-    while pool.idle_workers > 0 and launch_one():
-        pass
-    loop.run()
-    return log
+    try:
+        # Prime the pool.
+        while pool.idle_workers > 0 and launch_one():
+            pass
+        loop.run()
+        return log
+    finally:
+        if rec is not None:
+            rec.sim_clock = prev_sim_clock

@@ -9,6 +9,7 @@ heads, VAEs).
 from __future__ import annotations
 
 import contextlib
+import math
 import time
 from typing import Callable, ContextManager, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from . import losses as losses_mod
 from . import metrics as metrics_mod
+from ..obs.context import get_recorder
 from .dataloader import DataLoader, train_val_split
 from .layers import Layer
 from .optim import Adam, Optimizer
@@ -202,6 +204,21 @@ class Model:
         full_window_batches = (batches_per_epoch // grad_accumulation) * grad_accumulation
         trailing_window = batches_per_epoch - full_window_batches
 
+        # Observability (repro.obs): one module-global read when detached;
+        # when a recorder is attached, fit/epoch/step spans plus loss and
+        # grad-norm gauges (gated <5% step overhead by bench_obs_overhead).
+        rec = get_recorder()
+        if rec is not None:
+            obs_params = list(self.parameters())
+            # Resolved once: the registry lookups stay off the step path.
+            obs_steps = rec.metrics.counter("fit.steps")
+            obs_loss = rec.metrics.gauge("fit.loss")
+            obs_grad_norm = rec.metrics.gauge("fit.grad_norm")
+            fit_id = rec.begin(
+                "fit", kind="fit",
+                epochs=epochs, batch_size=batch_size, n_samples=len(x),
+            )
+
         with profiler if profiler is not None else contextlib.nullcontext():
             for epoch in range(epochs):
                 t0 = time.perf_counter()
@@ -209,7 +226,11 @@ class Model:
                 n_batches = 0
                 accum = 0
                 opt.zero_grad()
+                if rec is not None:
+                    epoch_id = rec.begin("epoch", kind="fit.epoch", epoch=epoch)
                 for xb, yb in loader:
+                    if rec is not None:
+                        step_id = rec.begin("step", kind="fit.step")
                     xt = Tensor(xb)
                     target = xb if yb is None else yb
                     pred = self.forward(xt, training=True)
@@ -224,6 +245,14 @@ class Model:
                         (batch_loss * (1.0 / window)).backward()
                     else:
                         batch_loss.backward()
+                    loss_val = batch_loss.item()
+                    if rec is not None:
+                        # Grad norm must be read here: the window boundary
+                        # below may step-and-zero the gradients.
+                        grad_norm = math.sqrt(sum(
+                            np.vdot(p.grad, p.grad)
+                            for p in obs_params if p.grad is not None
+                        ))
                     accum += 1
                     if accum >= grad_accumulation:
                         if clip_norm is not None:
@@ -231,10 +260,15 @@ class Model:
                         opt.step()
                         opt.zero_grad()
                         accum = 0
-                    epoch_loss += batch_loss.item()
+                    epoch_loss += loss_val
                     n_batches += 1
+                    if rec is not None:
+                        obs_steps.inc()
+                        obs_loss.set(loss_val)
+                        obs_grad_norm.set(grad_norm)
+                        rec.end(step_id, loss=loss_val, grad_norm=grad_norm)
                     if step_hook is not None:
-                        step_hook(getattr(opt, "step_count", n_batches), batch_loss.item())
+                        step_hook(getattr(opt, "step_count", n_batches), loss_val)
                 if accum > 0:  # flush a trailing partial window
                     if clip_norm is not None:
                         opt.clip_grad_norm(clip_norm)
@@ -258,8 +292,12 @@ class Model:
                         else:
                             patience_left -= 1
                             if patience_left <= 0:
+                                if rec is not None:
+                                    rec.end(epoch_id, early_stopped=True, **record)
                                 history.append(**record)
                                 break
+                if rec is not None:
+                    rec.end(epoch_id, **record)
                 history.append(**record)
                 if verbose:
                     parts = " ".join(f"{k}={v:.4g}" for k, v in record.items())
@@ -267,6 +305,8 @@ class Model:
 
         if best_weights is not None and early_stopping_patience is not None:
             self.set_weights(best_weights)
+        if rec is not None:
+            rec.end(fit_id, epochs_run=len(history))
         return history
 
     def evaluate(

@@ -1,0 +1,36 @@
+"""The active-recorder slot every hook point reads.
+
+Mirrors :mod:`repro.perf.hooks`: a plain module global rather than a
+thread-local (the engine is single-threaded per process; parallelism in
+this repo is process-level).  With no recorder attached each hook site
+pays one module-global read and a ``None`` test — that is the whole
+"zero-cost when detached" contract, and the obs-overhead benchmark gates
+the attached cost too.
+
+This module must stay import-light (stdlib only): it is imported by
+``repro.nn.model`` and ``repro.perf.profiler``, so pulling anything from
+the rest of the library here would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+_RECORDER: Optional[Any] = None
+
+
+def get_recorder() -> Optional[Any]:
+    """The active :class:`~repro.obs.trace.TraceRecorder`, or None."""
+    return _RECORDER
+
+
+def set_recorder(recorder: Optional[Any]) -> Optional[Any]:
+    """Install ``recorder`` as the active recorder; returns the previous one.
+
+    Recorders install themselves on ``__enter__`` and restore the
+    previous recorder on ``__exit__``, so ``with`` blocks nest.
+    """
+    global _RECORDER
+    prev = _RECORDER
+    _RECORDER = recorder
+    return prev

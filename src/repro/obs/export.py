@@ -1,0 +1,195 @@
+"""Trace serialization: JSONL out, validation, Chrome trace conversion.
+
+The JSONL file is the artifact of record — one JSON object per line, a
+``header`` line first (carrying the schema version), then every closed
+span and event in close order, then a snapshot of the metrics registry.
+:func:`validate_trace` checks the whole file against the schemas in
+:mod:`repro.obs.schema` plus the referential invariants a per-record
+schema cannot express (unique ids, parents that exist and are spans).
+
+:func:`to_chrome_trace` converts the same records to the Chrome
+trace-event format, loadable in ``chrome://tracing`` or Perfetto: spans
+become complete ("X") events on the wall clock, instants become "i"
+events.  Everything lands on one thread lane because the engine really
+is single-threaded — wall intervals genuinely nest; the simulated
+timeline stays in the JSONL (and the ``repro trace`` summary) where
+overlapping trial spans are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import numbers
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .schema import SchemaError, TRACE_RECORD_SCHEMAS, validate
+from .trace import TRACE_SCHEMA_VERSION, TraceError, TraceRecorder
+
+
+def _scalar(value: Any) -> Any:
+    """Coerce one attribute value to a JSON-safe scalar.
+
+    Numpy scalars satisfy the ``numbers`` ABCs, so this needs no numpy
+    import; non-finite floats become strings because strict JSON (and
+    Chrome's trace loader) has no NaN/Infinity literal.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        f = float(value)
+        return f if math.isfinite(f) else repr(f)
+    return str(value)
+
+
+def _sanitize(record: Dict) -> Dict:
+    out = {k: _scalar(v) if k != "attrs" else v for k, v in record.items()}
+    if "attrs" in record:
+        out["attrs"] = {str(k): _scalar(v) for k, v in record["attrs"].items()}
+    return out
+
+
+def trace_records(recorder: TraceRecorder, generator: str = "repro.obs") -> List[Dict]:
+    """Header + sanitized spans/events + metrics snapshot, export order."""
+    if not recorder.balanced:
+        raise TraceError(
+            f"cannot export with open spans: {', '.join(recorder.open_spans)}"
+        )
+    body = [_sanitize(r) for r in recorder.records]
+    metrics = [_sanitize(m) for m in recorder.metrics.snapshot()]
+    header = {
+        "type": "header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "generator": generator,
+        "spans": sum(1 for r in body if r["type"] == "span"),
+        "events": sum(1 for r in body if r["type"] == "event"),
+        "metrics": len(metrics),
+    }
+    return [header] + body + metrics
+
+
+def write_jsonl(trace: Union[TraceRecorder, List[Dict]], path: Union[str, Path]) -> Path:
+    """Write a JSONL trace file; returns the path.
+
+    ``trace`` is either a :class:`TraceRecorder` (exported via
+    :func:`trace_records`) or an already-exported record list.
+    """
+    records = trace if isinstance(trace, list) else trace_records(trace)
+    path = Path(path)
+    lines = [json.dumps(r, sort_keys=True, allow_nan=False) for r in records]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    records = []
+    for i, line in enumerate(Path(path).read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"line {i + 1}: not valid JSON ({e})") from e
+    return records
+
+
+def validate_trace(records: List[Dict]) -> Dict[str, int]:
+    """Validate a full trace record list; returns counts by record type.
+
+    Checks, in order: a header line first with a known schema version;
+    every record against its per-type schema; span/event ids unique;
+    every parent reference resolving to a span that exists.
+    """
+    if not records:
+        raise SchemaError("empty trace: expected a header record")
+    header = records[0]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        raise SchemaError("first record must be the header")
+    validate(header, TRACE_RECORD_SCHEMAS["header"], "$[0]")
+    if header["schema_version"] != TRACE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"unknown trace schema version {header['schema_version']} "
+            f"(this library reads version {TRACE_SCHEMA_VERSION})"
+        )
+
+    counts = {"header": 1, "span": 0, "event": 0, "metric": 0}
+    span_ids = set()
+    all_ids = set()
+    parents = []  # (path, parent_id)
+    for i, record in enumerate(records[1:], start=1):
+        rtype = record.get("type") if isinstance(record, dict) else None
+        schema = TRACE_RECORD_SCHEMAS.get(rtype)
+        if schema is None:
+            raise SchemaError(f"$[{i}]: unknown record type {rtype!r}")
+        if rtype == "header":
+            raise SchemaError(f"$[{i}]: duplicate header")
+        validate(record, schema, f"$[{i}]")
+        counts[rtype] += 1
+        if rtype in ("span", "event"):
+            rid = record["id"]
+            if rid in all_ids:
+                raise SchemaError(f"$[{i}]: duplicate id {rid}")
+            all_ids.add(rid)
+            if rtype == "span":
+                span_ids.add(rid)
+            if record["parent"] is not None:
+                parents.append((f"$[{i}]", record["parent"]))
+    for path, parent in parents:
+        if parent not in span_ids:
+            raise SchemaError(f"{path}: parent {parent} is not a recorded span")
+
+    declared = {"span": header["spans"], "event": header["events"], "metric": header["metrics"]}
+    for rtype, n in declared.items():
+        if counts[rtype] != n:
+            raise SchemaError(
+                f"header declares {n} {rtype} records, file has {counts[rtype]}"
+            )
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def to_chrome_trace(records: List[Dict]) -> Dict:
+    """Convert trace records to a ``chrome://tracing`` / Perfetto object."""
+    events: List[Dict] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "repro"}},
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+         "args": {"name": "engine"}},
+    ]
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "span":
+            events.append({
+                "ph": "X",
+                "name": record["name"],
+                "cat": record["kind"],
+                "pid": 0,
+                "tid": 0,
+                "ts": record["t_wall"] * 1e6,
+                "dur": max(record["dur_wall"], 0.0) * 1e6,
+                "args": dict(record.get("attrs", {})),
+            })
+        elif rtype == "event":
+            events.append({
+                "ph": "i",
+                "s": "p",  # process-scoped instant marker
+                "name": record["name"],
+                "cat": record["kind"],
+                "pid": 0,
+                "tid": 0,
+                "ts": record["t_wall"] * 1e6,
+                "args": dict(record.get("attrs", {})),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: List[Dict], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(records), sort_keys=True, allow_nan=False))
+    return path

@@ -1,0 +1,141 @@
+"""Counters, gauges, and histograms for the observability layer.
+
+The :class:`MetricsRegistry` is the numeric side of a trace: spans say
+*when*, metrics say *how much*.  Histograms reuse the log-bucket
+:class:`repro.serve.metrics.LatencyHistogram` — the serving layer solved
+the wide-dynamic-range percentile problem once; gauges and counters are
+deliberately minimal (a float slot, an int slot) so hook sites can
+update them inside training steps without measurable cost.
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+so hook points never need registration ceremony, and a snapshot is a
+list of plain JSON records ready for the trace exporter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += n
+
+    def as_record(self) -> Dict:
+        return {"type": "metric", "metric": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-value instrument that also tracks min/max/count of sets."""
+
+    __slots__ = ("name", "value", "n", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.n = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def set(self, value: float) -> None:
+        v = float(value)
+        self.value = v
+        self.n += 1
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def as_record(self) -> Dict:
+        return {
+            "type": "metric", "metric": "gauge", "name": self.name,
+            "value": self.value, "n": self.n,
+            "min": self.min if self.n else 0.0,
+            "max": self.max if self.n else 0.0,
+        }
+
+
+class Histogram:
+    """Log-bucket value histogram (delegates to the serving histogram)."""
+
+    __slots__ = ("name", "_hist")
+
+    def __init__(self, name: str, low: float = 1e-6, high: float = 1e3) -> None:
+        # Imported lazily: repro.serve.__init__ pulls in the server (and
+        # through it repro.nn.model), which itself imports repro.obs —
+        # a top-level import here would cycle at module init.
+        from ..serve.metrics import LatencyHistogram
+
+        self.name = name
+        self._hist = LatencyHistogram(min_latency=low, max_latency=high)
+
+    def observe(self, value: float) -> None:
+        self._hist.observe(value)
+
+    def percentile(self, q: float) -> float:
+        return self._hist.percentile(q)
+
+    @property
+    def n(self) -> int:
+        return self._hist.n
+
+    def as_record(self) -> Dict:
+        summary = self._hist.summary()
+        return {"type": "metric", "metric": "histogram", "name": self.name, **summary}
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with create-on-first-use semantics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, low: float = 1e-6, high: float = 1e3) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, low=low, high=high)
+        return h
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for store in (self._counters, self._gauges, self._histograms):
+            if store is not own and name in store:
+                raise ValueError(f"metric {name!r} already registered with a different type")
+
+    def snapshot(self) -> List[Dict]:
+        """All instruments as JSON records, sorted by (type, name)."""
+        records = (
+            [c.as_record() for c in self._counters.values()]
+            + [g.as_record() for g in self._gauges.values()]
+            + [h.as_record() for h in self._histograms.values()]
+        )
+        return sorted(records, key=lambda r: (r["metric"], r["name"]))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,285 @@
+"""Explicit schemas for every JSON artifact the repo emits, plus the
+tiny validator that checks them.
+
+Silent format drift is the failure mode: a benchmark runner reshapes its
+output, nothing notices, and three PRs later the regression tooling is
+comparing fields that no longer exist.  Each artifact therefore gets a
+declared schema — the trace JSONL records (versioned via
+:data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`), ``BENCH_kernels.json``,
+``BENCH_serving.json``, and ``BENCH_obs.json`` — and CI validates the
+generated files against them (``tests/test_schemas.py``).
+
+The validator is a deliberately small JSON-Schema subset (type /
+required / properties / items / enum / anyOf / minimum / null-unions /
+additionalProperties) so it needs no third-party dependency; it raises
+:class:`SchemaError` with a JSON-path to the offending value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+
+class SchemaError(ValueError):
+    """A JSON value does not match its declared schema."""
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; a schema saying "integer" must
+    # not silently accept True.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value: Any, schema: Dict, path: str = "$") -> None:
+    """Check ``value`` against ``schema``; raises :class:`SchemaError`."""
+    if "anyOf" in schema:
+        errors = []
+        for i, sub in enumerate(schema["anyOf"]):
+            try:
+                validate(value, sub, path)
+                break
+            except SchemaError as e:
+                errors.append(str(e))
+        else:
+            raise SchemaError(f"{path}: no anyOf branch matched ({'; '.join(errors)})")
+        return
+
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, (list, tuple)) else (declared,)
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise SchemaError(
+                f"{path}: expected {'/'.join(types)}, got {type(value).__name__} ({value!r})"
+            )
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(f"{path}: {value!r} not in {schema['enum']}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            raise SchemaError(f"{path}: {value!r} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            raise SchemaError(f"{path}: {value!r} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}")
+            elif extra is False:
+                raise SchemaError(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+# ----------------------------------------------------------------------
+# Shorthand constructors (schemas below would be unreadable longhand)
+# ----------------------------------------------------------------------
+NUM: Dict = {"type": "number"}
+NONNEG: Dict = {"type": "number", "minimum": 0}
+INT: Dict = {"type": "integer"}
+NONNEG_INT: Dict = {"type": "integer", "minimum": 0}
+STR: Dict = {"type": "string"}
+BOOL: Dict = {"type": "boolean"}
+#: A number or null — sim-clock fields when no sim clock is attached,
+#: and measured values that may be NaN (JSON round-trips them as floats).
+OPT_NUM: Dict = {"type": ["number", "null"]}
+
+
+def obj(required: Dict, optional: Optional[Dict] = None, extra: Union[bool, Dict] = False) -> Dict:
+    """Object schema from {key: subschema} dicts; required keys enforced."""
+    props = dict(required)
+    if optional:
+        props.update(optional)
+    return {
+        "type": "object",
+        "required": sorted(required),
+        "properties": props,
+        "additionalProperties": extra,
+    }
+
+
+def arr(items: Dict) -> Dict:
+    return {"type": "array", "items": items}
+
+
+# ----------------------------------------------------------------------
+# Trace JSONL records (schema_version 1)
+# ----------------------------------------------------------------------
+TRACE_HEADER_SCHEMA = obj(
+    {
+        "type": {"enum": ["header"]},
+        "schema_version": {"type": "integer", "minimum": 1},
+        "generator": STR,
+        "spans": NONNEG_INT,
+        "events": NONNEG_INT,
+        "metrics": NONNEG_INT,
+    },
+)
+
+TRACE_SPAN_SCHEMA = obj(
+    {
+        "type": {"enum": ["span"]},
+        "id": {"type": "integer", "minimum": 1},
+        "parent": {"type": ["integer", "null"]},
+        "name": STR,
+        "kind": STR,
+        "t_wall": NONNEG,
+        "dur_wall": NONNEG,
+        "t_sim": OPT_NUM,
+        "dur_sim": OPT_NUM,
+        "attrs": {"type": "object"},
+    },
+)
+
+TRACE_EVENT_SCHEMA = obj(
+    {
+        "type": {"enum": ["event"]},
+        "id": {"type": "integer", "minimum": 1},
+        "parent": {"type": ["integer", "null"]},
+        "name": STR,
+        "kind": STR,
+        "t_wall": NONNEG,
+        "t_sim": OPT_NUM,
+        "attrs": {"type": "object"},
+    },
+)
+
+TRACE_METRIC_SCHEMA = obj(
+    {
+        "type": {"enum": ["metric"]},
+        "metric": {"enum": ["counter", "gauge", "histogram"]},
+        "name": STR,
+    },
+    extra=True,  # per-instrument payload: value/min/max or bucket summary
+)
+
+#: Dispatch table the trace validator uses, keyed on the record's "type".
+TRACE_RECORD_SCHEMAS = {
+    "header": TRACE_HEADER_SCHEMA,
+    "span": TRACE_SPAN_SCHEMA,
+    "event": TRACE_EVENT_SCHEMA,
+    "metric": TRACE_METRIC_SCHEMA,
+}
+
+
+# ----------------------------------------------------------------------
+# Benchmark artifacts
+# ----------------------------------------------------------------------
+_KERNEL_ROW = obj(
+    {"shape": STR, "ref_ms": NONNEG, "new_ms": NONNEG, "speedup": NONNEG, "max_diff": NONNEG},
+)
+_FUSED_ROW_COMMON = {
+    "fused_ms": NONNEG, "unfused_ms": NONNEG, "speedup": NONNEG, "ok": BOOL,
+}
+
+BENCH_KERNELS_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {
+                "parity_ok": BOOL,
+                "conv2d_forward_speedup_geomean": NONNEG,
+                "mlp_train_step_speedup": NONNEG,
+                "cnn_train_step_speedup": NONNEG,
+            },
+        ),
+        "gemm": arr(obj({"shape": STR, "ms": NONNEG, "gflops": NONNEG})),
+        "conv1d_forward": arr(_KERNEL_ROW),
+        "conv2d_forward": arr(_KERNEL_ROW),
+        "fused": obj(
+            {
+                "linear_act": obj({"max_grad_diff": NONNEG, **_FUSED_ROW_COMMON}),
+                "softmax_cross_entropy": obj({"max_diff": NONNEG, **_FUSED_ROW_COMMON}),
+                "tol": NONNEG,
+            },
+        ),
+        "train_step": obj(
+            {
+                "mlp": arr(obj(
+                    {"role": STR, "shape": STR, "ref_ms": NONNEG, "new_ms": NONNEG,
+                     "speedup": NONNEG, "first_loss_diff": NONNEG},
+                )),
+                "cnn": obj(
+                    {"shape": STR, "ref_ms": NONNEG, "new_ms": NONNEG,
+                     "speedup": NONNEG, "first_loss_diff": NONNEG},
+                ),
+            },
+        ),
+        "meta": obj({"numpy": STR, "reps": {"type": "integer", "minimum": 1}, "smoke": BOOL}),
+    },
+)
+
+_LATENCY_SUMMARY = obj(
+    {"count": NONNEG_INT, "mean_s": NONNEG, "min_s": NONNEG, "max_s": NONNEG,
+     "p50_s": NONNEG, "p95_s": NONNEG, "p99_s": NONNEG},
+)
+
+BENCH_SERVING_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {"parity_ok": BOOL, "accounting_ok": BOOL, "speedup": NONNEG,
+             "speedup_min": NONNEG, "speedup_ok": BOOL},
+        ),
+        "batched": obj(
+            {"accounted": BOOL, "batch_occupancy": NONNEG, "batches": NONNEG_INT,
+             "busy_time_s": NONNEG, "completed": NONNEG_INT, "elapsed_s": NONNEG,
+             "latency": _LATENCY_SUMMARY, "mean_batch_size": NONNEG, "shed": NONNEG_INT,
+             "submitted": NONNEG_INT, "throughput_rps": NONNEG, "timed_out": NONNEG_INT,
+             "utilization": NONNEG},
+        ),
+        "single": obj(
+            {"elapsed_s": NONNEG, "max_abs_diff_vs_batched": NONNEG,
+             "mean_latency_s": NONNEG, "requests": NONNEG_INT, "throughput_rps": NONNEG},
+        ),
+        "overload": obj(
+            {"accounted": BOOL, "burst": NONNEG_INT, "completed": NONNEG_INT,
+             "handle_statuses": {"type": "object", "additionalProperties": NONNEG_INT},
+             "max_queue": NONNEG_INT, "shed": NONNEG_INT, "timed_out": NONNEG_INT},
+        ),
+        "registry": obj(
+            {"evictions": NONNEG_INT, "hits": NONNEG_INT, "loads": NONNEG_INT,
+             "registered": NONNEG_INT, "resident": NONNEG_INT},
+        ),
+        "service_time": obj({"base_s": NUM, "per_sample_s": NUM}),
+        "sweep": arr(obj(
+            {"accounted": BOOL, "batch_occupancy": NONNEG, "offered_rps": NONNEG,
+             "p50_s": NONNEG, "p95_s": NONNEG, "p99_s": NONNEG, "shed": NONNEG_INT,
+             "throughput_rps": NONNEG, "timed_out": NONNEG_INT, "utilization": NONNEG},
+        )),
+        "benchmark": STR,
+        "max_batch_size": NONNEG_INT,
+        "n_requests": NONNEG_INT,
+        "smoke": BOOL,
+    },
+)
+
+BENCH_OBS_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {"overhead_ok": BOOL, "overhead_frac": NUM, "gate_frac": NONNEG},
+        ),
+        "overhead": obj(
+            {"detached_ms": NONNEG, "attached_ms": NONNEG, "overhead_frac": NUM,
+             "steps": NONNEG_INT, "shape": STR},
+        ),
+        "trace": obj(
+            {"records": NONNEG_INT, "records_per_step": NONNEG},
+        ),
+        "meta": obj({"numpy": STR, "reps": {"type": "integer", "minimum": 1}, "smoke": BOOL}),
+    },
+)

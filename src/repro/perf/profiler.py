@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from . import hooks
+from ..obs.context import get_recorder
 
 
 @dataclass
@@ -87,6 +88,12 @@ class OpProfiler:
         stat.merge_call(dt, _output_nbytes(out), max(alloc, 0))
         if self.keep_samples:
             self.samples.setdefault(name, []).append(dt)
+        rec = get_recorder()
+        if rec is not None:
+            # Op spans on the shared timeline: already timed above, so
+            # report the finished interval; it nests under the innermost
+            # open span (a fit step, a serving batch, ...).
+            rec.add_complete(name, kind="op", dur_wall=dt)
         return out
 
     def percentiles(self, name: str, qs: tuple = (50, 95, 99)) -> Dict[str, float]:

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.context import get_recorder
+
 #: Fault kinds (also the keys of :attr:`FaultInjector.counts`).
 CRASH = "crash"          # node dies mid-work; the work is lost and retried
 STRAGGLER = "straggler"  # the work completes, `straggler_factor` times slower
@@ -95,6 +97,12 @@ class FaultInjector:
 
     def record(self, kind: str, n: int = 1) -> None:
         self.counts[kind] += n
+        # Every injection in the library funnels through here, so this
+        # one hook puts all fault events on the shared obs timeline.
+        rec = get_recorder()
+        if rec is not None:
+            rec.event(f"fault.{kind}", kind="fault", fault=kind, n=n)
+            rec.metrics.counter(f"faults.{kind}").inc(n)
 
     @property
     def total_injected(self) -> int:

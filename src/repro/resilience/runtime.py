@@ -26,6 +26,7 @@ from ..hpc.cluster import SimCluster
 from ..hpc.perfmodel import ModelProfile
 from ..nn import losses as losses_mod
 from ..nn.model import History, Model
+from ..obs.context import get_recorder
 from ..nn.optim import Adam, Optimizer
 from ..nn.tensor import Tensor
 from .checkpoint import CheckpointManager
@@ -182,6 +183,12 @@ def run_resilient_training(
             report.sim_checkpoint_time += checkpoint_time_s
         else:
             report.checkpoint_write_failures += 1
+        rec = get_recorder()
+        if rec is not None:
+            rec.event(
+                "checkpoint", kind="resilience.checkpoint",
+                epoch=epoch, global_step=global_step, ok=path is not None,
+            )
 
     if manager.latest() is None:
         # Baseline snapshot: anchors restarts that beat the first periodic
@@ -259,14 +266,24 @@ def run_resilient_training(
             start_step = 0  # any later epoch starts clean
 
     incarnation = 0
+    rec = get_recorder()
     while True:
         try:
-            run_incarnation(incarnation)
+            if rec is not None:
+                # The span ctx closes (marked aborted) when an injected
+                # crash unwinds the incarnation, so the trace stays
+                # balanced across restarts.
+                with rec.span("resilient_fit", kind="fit", incarnation=incarnation):
+                    run_incarnation(incarnation)
+            else:
+                run_incarnation(incarnation)
             break
         except SimulatedCrash:
             report.restarts += 1
             report.sim_restart_time += restart_time_s
             incarnation += 1
+            if rec is not None:
+                rec.event("restart", kind="resilience.restart", incarnation=incarnation)
             if report.restarts > max_restarts:
                 raise RuntimeError(
                     f"gave up after {max_restarts} restarts — raise max_restarts "
@@ -276,8 +293,8 @@ def run_resilient_training(
     if injector is not None:
         report.faults = dict(injector.counts)
     history = History()
-    for rec in records:
-        history.append(**rec)
+    for row in records:
+        history.append(**row)
     return history, report
 
 

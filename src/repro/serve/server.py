@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.context import get_recorder
 from ..perf import hooks
 from ..nn.model import Model
 from .batcher import BatchPolicy, MicroBatcher, Request
@@ -82,6 +83,13 @@ class InferenceServer:
         self.stats.submitted += 1
         if not self.batcher.offer(req):
             self.stats.shed += 1
+            rec = get_recorder()
+            if rec is not None:
+                rec.event("shed", kind="serve.shed", request_id=req.request_id)
+        else:
+            rec = get_recorder()
+            if rec is not None:
+                rec.metrics.gauge("serve.queue_depth").set(self.batcher.depth)
         return req
 
     # -- batch dispatch --------------------------------------------------
@@ -102,7 +110,18 @@ class InferenceServer:
         self.stats.timed_out += len(expired)
         if not batch:
             return 0
+        rec = get_recorder()
+        if rec is not None:
+            span_id = rec.begin(
+                "batch", kind="serve.batch",
+                batch_size=len(batch), queue_depth=self.batcher.depth,
+                timed_out=len(expired),
+            )
         outputs = self._execute([req.x for req in batch])
+        if rec is not None:
+            rec.metrics.gauge("serve.queue_depth").set(self.batcher.depth)
+            rec.metrics.counter("serve.batches").inc()
+            rec.end(span_id)
         # Wall-clock mode re-reads the clock so latency includes the
         # forward; a simulated caller advances its own clock instead.
         done = max(self.clock(), now) if wall else now

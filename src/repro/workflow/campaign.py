@@ -29,6 +29,8 @@ from ..hpo.space import Config, SearchSpace
 from ..hpo.strategies import STRATEGIES
 from ..nn import metrics as metrics_mod
 from ..nn.dataloader import train_val_split
+from ..obs.context import get_recorder
+from ..obs.trace import maybe_span
 from ..precision.policy import PrecisionPolicy, train_with_policy
 from ..resilience import ResilienceReport, as_injector
 from .training_job import run_training_job, simulated_trial_cost
@@ -112,78 +114,106 @@ def run_campaign(
     cluster = cluster or SimCluster.build("summit_era", max(n_workers, 1))
     injector = as_injector(faults)
 
-    # -- 1. search ---------------------------------------------------------
-    objective = benchmark_objective(spec, data_seed=data_seed, max_samples=max_search_samples)
-    cost = simulated_trial_cost(spec, cluster)
-    strat_cls = STRATEGIES[strategy]
-    strat = strat_cls(space, seed=seed, **(strategy_kwargs or {}))
-    log = run_parallel(
-        strat, objective, n_trials, n_workers, cost,
-        injector=injector, max_retries=max_retries, retry_backoff=retry_backoff,
-    )
-    try:
-        best = log.best_config()
-    except ValueError:
-        # Graceful degradation: every trial was lost to faults.  Fall back
-        # to a seeded sample so the campaign still delivers a model.
-        best = space.sample(np.random.default_rng(seed))
-    search_wall = max((t.sim_time for t in log.trials), default=0.0)
+    # Observability: with a repro.obs.TraceRecorder attached, the whole
+    # campaign is one top-level span with search / final-training /
+    # evaluate child phases; trial spans, fit spans, ops, and fault
+    # events recorded by the nested subsystems land inside it.
+    rec = get_recorder()
+    with maybe_span(
+        rec, benchmark, "campaign",
+        benchmark=benchmark, strategy=strategy, n_trials=n_trials,
+        n_workers=n_workers, precision=precision, faulted=injector is not None,
+    ) as campaign_span:
+        # -- 1. search -----------------------------------------------------
+        with maybe_span(rec, "search", "campaign.search", strategy=strategy) as search_span:
+            objective = benchmark_objective(
+                spec, data_seed=data_seed, max_samples=max_search_samples
+            )
+            cost = simulated_trial_cost(spec, cluster)
+            strat_cls = STRATEGIES[strategy]
+            strat = strat_cls(space, seed=seed, **(strategy_kwargs or {}))
+            log = run_parallel(
+                strat, objective, n_trials, n_workers, cost,
+                injector=injector, max_retries=max_retries, retry_backoff=retry_backoff,
+            )
+            try:
+                best = log.best_config()
+            except ValueError:
+                # Graceful degradation: every trial was lost to faults.  Fall
+                # back to a seeded sample so the campaign still delivers a
+                # model.
+                best = space.sample(np.random.default_rng(seed))
+            search_wall = max((t.sim_time for t in log.trials), default=0.0)
+            if search_span is not None:
+                search_span["attrs"].update(trials=len(log), sim_wallclock=search_wall)
 
-    # -- 2. final training ---------------------------------------------------
-    x, y = spec.make_data(seed=data_seed + 1)
-    rng = np.random.default_rng(seed)
-    x_tr, y_tr, x_va, y_va = train_val_split(x, y, val_frac=0.3, rng=rng)
+        # -- 2. final training ---------------------------------------------
+        with maybe_span(
+            rec, "final_training", "campaign.final_training", precision=precision
+        ) as train_span:
+            x, y = spec.make_data(seed=data_seed + 1)
+            rng = np.random.default_rng(seed)
+            x_tr, y_tr, x_va, y_va = train_val_split(x, y, val_frac=0.3, rng=rng)
 
-    cfg = dict(best)
-    lr = float(cfg.pop("lr", 1e-3))
-    batch_size = int(cfg.pop("batch_size", 32))
-    h1, h2 = cfg.pop("hidden1", None), cfg.pop("hidden2", None)
-    if h1 is not None:
-        cfg["hidden"] = (int(h1),) if h2 is None else (int(h1), int(h2))
-    model = spec.build_model(**cfg)
+            cfg = dict(best)
+            lr = float(cfg.pop("lr", 1e-3))
+            batch_size = int(cfg.pop("batch_size", 32))
+            h1, h2 = cfg.pop("hidden1", None), cfg.pop("hidden2", None)
+            if h1 is not None:
+                cfg["hidden"] = (int(h1),) if h2 is None else (int(h1), int(h2))
+            model = spec.build_model(**cfg)
 
-    train_resilience: Optional[ResilienceReport] = None
-    if precision == "fp32":
-        report = run_training_job(
-            model, x_tr, y_tr, cluster, precision=precision,
-            epochs=final_epochs, batch_size=batch_size, loss=spec.loss, lr=lr, seed=seed,
-            faults=injector, checkpoint_dir=checkpoint_dir,
-        )
-        train_time, energy = report.sim_total_time, report.energy_joules
-        train_resilience = report.resilience
-    else:
-        policy = PrecisionPolicy(precision)
-        train_with_policy(model, x_tr, y_tr, policy, epochs=final_epochs,
-                          batch_size=batch_size, loss=spec.loss, lr=lr, seed=seed)
-        # Price the run post hoc (the policy loop trains; the simulator meters).
-        from ..hpc.energy import step_energy
-        from ..hpc.parallelism import SingleNode
-        from ..hpc.perfmodel import profile_model
+            train_resilience: Optional[ResilienceReport] = None
+            if precision == "fp32":
+                report = run_training_job(
+                    model, x_tr, y_tr, cluster, precision=precision,
+                    epochs=final_epochs, batch_size=batch_size, loss=spec.loss,
+                    lr=lr, seed=seed, faults=injector, checkpoint_dir=checkpoint_dir,
+                )
+                train_time, energy = report.sim_total_time, report.energy_joules
+                train_resilience = report.resilience
+            else:
+                policy = PrecisionPolicy(precision)
+                train_with_policy(model, x_tr, y_tr, policy, epochs=final_epochs,
+                                  batch_size=batch_size, loss=spec.loss, lr=lr, seed=seed)
+                # Price the run post hoc (the policy loop trains; the
+                # simulator meters).
+                from ..hpc.energy import step_energy
+                from ..hpc.parallelism import SingleNode
+                from ..hpc.perfmodel import profile_model
 
-        profile = profile_model(model, np.asarray(x_tr).shape[1:], batch_size=batch_size)
-        plan = SingleNode()
-        step_t = plan.step_time(profile, cluster, precision)
-        steps = int(np.ceil(len(x_tr) / batch_size)) * final_epochs
-        train_time = step_t * steps
-        energy = step_energy(plan, profile, cluster, precision).total * steps
+                profile = profile_model(model, np.asarray(x_tr).shape[1:], batch_size=batch_size)
+                plan = SingleNode()
+                step_t = plan.step_time(profile, cluster, precision)
+                steps = int(np.ceil(len(x_tr) / batch_size)) * final_epochs
+                train_time = step_t * steps
+                energy = step_energy(plan, profile, cluster, precision).total * steps
+            if train_span is not None:
+                train_span["attrs"].update(sim_time=train_time, energy_joules=energy)
 
-    # -- 3. evaluate ---------------------------------------------------------
-    if spec.metric == "loss":
-        final_metric = model.evaluate(x_va, y_va, loss=spec.loss)["loss"]
-    else:
-        pred = model.predict(np.asarray(x_va))
-        target = x_va if y_va is None else y_va
-        final_metric = metrics_mod.get(spec.metric)(pred, np.asarray(target))
+        # -- 3. evaluate -----------------------------------------------------
+        with maybe_span(rec, "evaluate", "campaign.evaluate"):
+            if spec.metric == "loss":
+                final_metric = model.evaluate(x_va, y_va, loss=spec.loss)["loss"]
+            else:
+                pred = model.predict(np.asarray(x_va))
+                target = x_va if y_va is None else y_va
+                final_metric = metrics_mod.get(spec.metric)(pred, np.asarray(target))
 
-    # -- 4. resilience ledger ------------------------------------------------
-    resilience: Optional[ResilienceReport] = None
-    if injector is not None:
-        resilience = train_resilience or ResilienceReport()
-        stats = log.stats
-        resilience.retries += stats.get("retries", 0)
-        resilience.quarantined += stats.get("quarantined", 0)
-        resilience.workers_lost += stats.get("workers_lost", 0)
-        resilience.faults = dict(injector.counts)  # search + training, by kind
+        # -- 4. resilience ledger --------------------------------------------
+        resilience: Optional[ResilienceReport] = None
+        if injector is not None:
+            resilience = train_resilience or ResilienceReport()
+            stats = log.stats
+            resilience.retries += stats.get("retries", 0)
+            resilience.quarantined += stats.get("quarantined", 0)
+            resilience.workers_lost += stats.get("workers_lost", 0)
+            resilience.faults = dict(injector.counts)  # search + training, by kind
+
+        if campaign_span is not None:
+            campaign_span["attrs"].update(
+                final_metric=float(final_metric), metric=spec.metric,
+            )
 
     return CampaignReport(
         benchmark=spec.name,
