@@ -18,6 +18,14 @@ Subpackages
   search orchestrator.
 - :mod:`repro.workflow` — end-to-end workflows (training-on-cluster,
   DL-supervised molecular dynamics).
+- :mod:`repro.parallel` — real multi-core execution engine: shared-memory
+  data plane, process worker pool, deterministic allreduce, real-clock
+  HPO trial executor, prefetching.
+- :mod:`repro.resilience` — fault injection, checkpoint/restart, and the
+  degradation-policy campaign runtime.
+- :mod:`repro.perf` — op-level profiling and kernel benchmarks.
+- :mod:`repro.obs` — spans/metrics/trace export and artifact schemas.
+- :mod:`repro.serve` — micro-batched inference serving.
 """
 
 __version__ = "1.0.0"

@@ -24,6 +24,7 @@ carry simulated timestamps too.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -107,8 +108,19 @@ def run_parallel(
     failure_seed: int = 0,
     injector: Optional[FaultInjector] = None,
     retry_backoff: float = 0.0,
+    executor=None,
 ) -> ResultLog:
     """Run the search on ``n_workers`` simulated workers.
+
+    With ``executor`` (a :class:`repro.parallel.ParallelTrialExecutor`),
+    the search instead runs in **real-clock mode**: trials execute on
+    real worker processes, ``cost_model``/``sync`` do not apply, and
+    trial ``sim_time`` is wall-clock seconds since the search started.
+    The retry/quarantine semantics are preserved — real worker crashes
+    (and injector-scheduled CRASH faults) burn an attempt and are
+    resubmitted up to ``max_retries`` times, NaN objective values are
+    quarantined to ``inf`` — so a campaign degrades gracefully on real
+    hardware exactly as it does on the simulated clock.
 
     async (default): a worker that finishes immediately asks for new work —
     results arrive out of order and the strategy sees them as they land.
@@ -146,6 +158,19 @@ def run_parallel(
         raise ValueError("max_retries must be >= 0")
     if retry_backoff < 0:
         raise ValueError("retry_backoff must be >= 0")
+    if executor is not None:
+        if sync:
+            raise ValueError("real-clock mode is async-only (sync=True unsupported)")
+        if getattr(executor, "n_workers", n_workers) != n_workers:
+            raise ValueError(
+                f"executor has {executor.n_workers} workers but run_parallel "
+                f"was asked for {n_workers}"
+            )
+        return _run_parallel_real(
+            strategy, objective, n_trials, executor,
+            failure_rate=failure_rate, max_retries=max_retries,
+            failure_seed=failure_seed, injector=injector,
+        )
     failure_rng = np.random.default_rng(failure_seed)
     cost = cost_model or constant_cost()
     log = ResultLog()
@@ -367,3 +392,117 @@ def run_parallel(
     finally:
         if rec is not None:
             rec.sim_clock = prev_sim_clock
+
+
+def _run_parallel_real(
+    strategy: Strategy,
+    objective: Objective,
+    n_trials: int,
+    executor,
+    failure_rate: float,
+    max_retries: int,
+    failure_seed: int,
+    injector: Optional[FaultInjector],
+) -> ResultLog:
+    """Async search on real worker processes (the executor's pool).
+
+    Mirrors the simulated async scheduler's semantics on the wall
+    clock: completions arrive out of order, the strategy learns as they
+    land, crashed attempts retry up to ``max_retries`` then report
+    ``inf``, NaN values are quarantined.  Injector CRASH/NAN faults are
+    applied parent-side before dispatch (deterministic per
+    (trial, attempt), so fault-handling tests run identically in both
+    modes); STRAGGLER faults are meaningless without a simulated clock
+    and are ignored.  Dead workers are respawned by the pool and the
+    lost attempt is charged as a failure.
+    """
+    failure_rng = np.random.default_rng(failure_seed)
+    log = ResultLog()
+    stats = log.stats
+    stats.update({"failures": 0, "retries": 0, "quarantined": 0, "workers_lost": 0})
+    rec = get_recorder()
+    t0 = time.perf_counter()
+
+    def wall() -> float:
+        return time.perf_counter() - t0
+
+    def attempt_fault(tid: int, attempt: int) -> Optional[str]:
+        if injector is not None:
+            fault = injector.trial_fault(tid, attempt)
+            return None if fault == STRAGGLER else fault
+        if failure_rate > 0 and failure_rng.random() < failure_rate:
+            return CRASH
+        return None
+
+    state = {"launched": 0}
+    inflight: Dict[int, tuple] = {}  # task_id -> (sug, tid, attempt)
+
+    def finish(sug, tid: int, value: float, worker: int) -> None:
+        strategy.tell(sug, value)
+        log.add(Trial(trial_id=tid, config=sug.config, value=value,
+                      budget=sug.budget, sim_time=wall(), worker=worker))
+
+    def crash(sug, tid: int, attempt: int, worker: int) -> None:
+        """One attempt failed (injected, exception, or dead worker)."""
+        stats["failures"] += 1
+        if attempt < max_retries:
+            stats["retries"] += 1
+            if rec is not None:
+                rec.event("retry", kind="hpo.retry",
+                          trial=tid, attempt=attempt + 1, worker=worker)
+            dispatch(sug, tid, attempt + 1)
+        else:
+            if rec is not None:
+                rec.event("retries_exhausted", kind="hpo.giveup",
+                          trial=tid, attempts=attempt + 1, worker=worker)
+            finish(sug, tid, float("inf"), worker)
+
+    def dispatch(sug, tid: int, attempt: int) -> None:
+        kind = attempt_fault(tid, attempt)
+        if kind == CRASH:
+            crash(sug, tid, attempt, worker=-1)
+            return
+        if kind == NAN:
+            stats["quarantined"] += 1
+            if rec is not None:
+                rec.event("quarantine", kind="hpo.quarantine", trial=tid, source="injected")
+            finish(sug, tid, float("inf"), worker=-1)
+            return
+        task_id = executor.submit(sug.config, sug.budget)
+        inflight[task_id] = (sug, tid, attempt)
+
+    def launch_one() -> bool:
+        if state["launched"] >= n_trials:
+            return False
+        sug = strategy.ask()
+        if sug is None:
+            return False  # stalled; completions will retry
+        tid = state["launched"]
+        state["launched"] += 1
+        dispatch(sug, tid, attempt=0)
+        return True
+
+    executor.start(objective)
+    try:
+        while True:
+            while len(inflight) < executor.n_workers and launch_one():
+                pass
+            if not inflight:
+                break  # done, or strategy stalled with nothing outstanding
+            res = executor.next_result()
+            sug, tid, attempt = inflight.pop(res.task_id)
+            if res.status != "ok":
+                if res.status == "died":
+                    stats["workers_lost"] += 1  # the pool respawned it
+                crash(sug, tid, attempt, worker=res.worker)
+                continue
+            if rec is not None:
+                rec.add_complete(
+                    "trial", kind="hpo.trial", dur_wall=res.duration_s,
+                    trial=tid, attempt=attempt, worker=res.worker,
+                    budget=sug.budget, mode="process", value=res.value,
+                )
+            finish(sug, tid, _quarantine(res.value, stats, rec, tid), res.worker)
+        return log
+    finally:
+        executor.shutdown()

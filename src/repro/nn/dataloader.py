@@ -26,7 +26,17 @@ class DataLoader:
     shuffle:
         Reshuffle indices at the start of every epoch.
     rng:
-        Generator used for shuffling (reproducible pipelines).
+        Generator used for shuffling (reproducible pipelines).  Mutually
+        exclusive with ``seed``.
+    seed:
+        Convenience for ``rng=np.random.default_rng(seed)``.
+
+    Reproducibility contract: when neither ``rng`` nor ``seed`` is
+    given, each loader gets its own fresh ``default_rng(0)`` — so two
+    loaders built without an explicit generator produce *identical*
+    permutation sequences.  That default keeps pipelines reproducible
+    by construction; pass distinct ``seed`` values (or share one
+    ``rng``) when you want decorrelated shuffles.
     """
 
     def __init__(
@@ -37,6 +47,7 @@ class DataLoader:
         shuffle: bool = True,
         drop_last: bool = False,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.x = np.asarray(x)
         self.y = None if y is None else np.asarray(y)
@@ -44,10 +55,12 @@ class DataLoader:
             raise ValueError(f"x and y length mismatch: {len(self.x)} vs {len(self.y)}")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if rng is not None and seed is not None:
+            raise ValueError("pass rng or seed, not both")
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0 if seed is None else seed)
 
     def __len__(self) -> int:
         n = len(self.x)

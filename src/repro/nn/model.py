@@ -157,6 +157,7 @@ class Model:
         step_hook: Optional[Callable[[int, float], None]] = None,
         grad_accumulation: int = 1,
         profiler: Optional[ContextManager] = None,
+        prefetch: bool = False,
     ) -> History:
         """Train the model; returns a :class:`History`.
 
@@ -176,6 +177,11 @@ class Model:
         :class:`repro.perf.OpProfiler` — entered for the duration of
         training, so every instrumented op (including validation passes)
         is attributed to it.
+
+        ``prefetch=True`` wraps the batch loader in a
+        :class:`repro.parallel.PrefetchLoader` (background-thread double
+        buffering) so batch assembly overlaps compute; batch order and
+        values are unchanged, so training stays bit-identical.
         """
         if grad_accumulation < 1:
             raise ValueError("grad_accumulation must be >= 1")
@@ -191,6 +197,12 @@ class Model:
         opt = optimizer or Adam(self.parameters(), lr=lr)
         metric_fns = {m: metrics_mod.get(m) for m in metrics}
         loader = DataLoader(x, y, batch_size=batch_size, shuffle=True, rng=rng)
+        if prefetch:
+            # Lazy import: repro.parallel imports repro.nn, so importing
+            # it at module scope here would cycle.
+            from ..parallel.prefetch import PrefetchLoader
+
+            loader = PrefetchLoader(loader)
 
         history = History()
         best_val = np.inf

@@ -51,6 +51,7 @@ from .report import format_summary, summarize_trace
 from .schema import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
+    BENCH_PARALLEL_SCHEMA,
     BENCH_SERVING_SCHEMA,
     SchemaError,
     validate,
@@ -81,4 +82,5 @@ __all__ = [
     "BENCH_KERNELS_SCHEMA",
     "BENCH_SERVING_SCHEMA",
     "BENCH_OBS_SCHEMA",
+    "BENCH_PARALLEL_SCHEMA",
 ]

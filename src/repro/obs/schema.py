@@ -6,8 +6,9 @@ output, nothing notices, and three PRs later the regression tooling is
 comparing fields that no longer exist.  Each artifact therefore gets a
 declared schema — the trace JSONL records (versioned via
 :data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`), ``BENCH_kernels.json``,
-``BENCH_serving.json``, and ``BENCH_obs.json`` — and CI validates the
-generated files against them (``tests/test_schemas.py``).
+``BENCH_serving.json``, ``BENCH_obs.json``, and ``BENCH_parallel.json``
+— and CI validates the generated files against them
+(``tests/test_schemas.py``).
 
 The validator is a deliberately small JSON-Schema subset (type /
 required / properties / items / enum / anyOf / minimum / null-unions /
@@ -281,5 +282,59 @@ BENCH_OBS_SCHEMA = obj(
             {"records": NONNEG_INT, "records_per_step": NONNEG},
         ),
         "meta": obj({"numpy": STR, "reps": {"type": "integer", "minimum": 1}, "smoke": BOOL}),
+    },
+)
+
+_POS_INT: Dict = {"type": "integer", "minimum": 1}
+
+BENCH_PARALLEL_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {
+                "parity_ok": BOOL,
+                "ddp_parity_max_abs_diff": NONNEG,
+                "hpo_best_match": BOOL,
+                "hpo_speedup_4w": NONNEG,
+                "hpo_speedup_min": NONNEG,
+                "hpo_speedup_ok": BOOL,
+                "ddp_speedup_2r": NONNEG,
+                "ddp_speedup_min": NONNEG,
+                "ddp_speedup_ok": BOOL,
+            },
+        ),
+        "hpo": obj(
+            {
+                "n_trials": NONNEG_INT,
+                "trial_stall_s": NONNEG,
+                "serial": obj({"elapsed_s": NONNEG, "best_value": NUM}),
+                "workers": arr(obj(
+                    {"n_workers": _POS_INT, "elapsed_s": NONNEG, "speedup": NONNEG,
+                     "best_value": NUM, "best_match": BOOL, "trials": NONNEG_INT},
+                )),
+            },
+        ),
+        "ddp": obj(
+            {
+                "world": _POS_INT,
+                "epochs": NONNEG_INT,
+                "steps": NONNEG_INT,
+                "stall_per_batch_s": NONNEG,
+                "serial": obj({"elapsed_s": NONNEG, "steps_per_s": NONNEG, "final_loss": NUM}),
+                "process": obj(
+                    {"elapsed_s": NONNEG, "steps_per_s": NONNEG, "final_loss": NUM,
+                     "speedup": NONNEG},
+                ),
+                "parity_max_abs_diff": NONNEG,
+                "loss_match": BOOL,
+            },
+        ),
+        "prefetch": obj(
+            {"plain_s": NONNEG, "prefetch_s": NONNEG, "speedup": NONNEG,
+             "batches": NONNEG_INT, "stall_s": NONNEG},
+        ),
+        "meta": obj(
+            {"numpy": STR, "cpus": _POS_INT, "start_method": STR,
+             "smoke": BOOL, "blas_pinned": BOOL},
+        ),
     },
 )

@@ -1,0 +1,133 @@
+"""Shared-memory allreduce with a fixed, deterministic reduction order.
+
+The classic ring allreduce is a reduce-scatter (each rank ends up owning
+the reduced value of one chunk) followed by an allgather (owners
+broadcast their chunks).  On a shared-memory node the rings collapse to
+slab reads: every rank writes its contribution into its own input slab,
+then each rank *owns* one contiguous chunk of the vector and reduces
+that chunk across all ranks — chunk reductions run in parallel, each
+element is summed exactly once, and the allgather is a single shared
+output slab everyone copies from.  Three barriers sequence the phases.
+
+Determinism is the point: each chunk owner accumulates contributions in
+**ascending rank order** (``((g0 + g1) + g2) + ...``), so the floating-
+point association is fixed — independent of scheduling, and *identical
+to the serial reference* :func:`reduce_ranks`, which sums the same way.
+That is what makes process-parallel training bit-identical to the
+single-process path (IEEE-754 addition is deterministic; only the
+association order had to be pinned).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .shm import AttachedArray, SharedArrayStore
+
+
+def reduce_ranks(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Serial reference reduction: ascending-rank-order sum.
+
+    Bit-identical to what :class:`RankReducer.allreduce` computes —
+    element ``i`` is accumulated ``((v0[i] + v1[i]) + v2[i]) + ...`` in
+    both — so a single process can replay a parallel run exactly.
+    """
+    if not vectors:
+        raise ValueError("reduce_ranks needs at least one vector")
+    acc = vectors[0].astype(np.float64, copy=True)
+    for v in vectors[1:]:
+        acc += v
+    return acc
+
+
+def chunk_bounds(n: int, world: int, rank: int) -> tuple:
+    """[lo, hi) of the chunk ``rank`` owns; same split as np.array_split."""
+    base, extra = divmod(n, world)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+class AllreduceHandle:
+    """Parent-built, rank-shipped state for one allreduce group.
+
+    Carries the shared slab refs and the barrier.  Passable to
+    ``Process(args=...)`` under both fork and spawn (multiprocessing
+    synchronisation primitives pickle through process inheritance).
+    """
+
+    def __init__(self, world: int, n: int, in_ref, out_ref, barrier) -> None:
+        self.world = world
+        self.n = n
+        self.in_ref = in_ref
+        self.out_ref = out_ref
+        self.barrier = barrier
+
+
+def create_allreduce(store: SharedArrayStore, ctx, world: int, n: int) -> AllreduceHandle:
+    """Allocate the slabs for a ``world``-rank group reducing ``n`` floats.
+
+    ``store`` owns the segments (parent cleans up); ``ctx`` is the
+    multiprocessing context whose Barrier the group synchronises on.
+    """
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    store.allocate("allreduce_in", (world, n), np.float64)
+    store.allocate("allreduce_out", (n,), np.float64)
+    return AllreduceHandle(
+        world, n, store.ref("allreduce_in"), store.ref("allreduce_out"),
+        ctx.Barrier(world),
+    )
+
+
+class RankReducer:
+    """Per-rank endpoint of the shared-memory allreduce.
+
+    Built inside each rank process from the shipped handle.  One
+    ``allreduce`` call per step; the result lands in place.
+    """
+
+    def __init__(self, handle: AllreduceHandle, rank: int) -> None:
+        if not 0 <= rank < handle.world:
+            raise ValueError(f"rank {rank} out of range for world {handle.world}")
+        self.rank = rank
+        self.world = handle.world
+        self._barrier = handle.barrier
+        self._in_att = AttachedArray(handle.in_ref)
+        self._out_att = AttachedArray(handle.out_ref)
+        self._in = self._in_att.array  # (world, n)
+        self._out = self._out_att.array  # (n,)
+        self._lo, self._hi = chunk_bounds(handle.n, handle.world, rank)
+
+    def allreduce(self, vec: np.ndarray) -> None:
+        """Sum ``vec`` across all ranks, in place, deterministic order.
+
+        Phases (3 barriers): publish inputs -> owners reduce their chunk
+        in ascending rank order -> everyone copies the full result out.
+        The trailing barrier keeps a fast rank from republishing step
+        ``t+1`` inputs while a slow rank still reads step ``t`` output.
+        """
+        if vec.shape != (self._in.shape[1],):
+            raise ValueError(f"expected shape ({self._in.shape[1]},), got {vec.shape}")
+        if self.world == 1:
+            return
+        self._in[self.rank, :] = vec
+        self._barrier.wait()
+        lo, hi = self._lo, self._hi
+        if hi > lo:
+            np.add(self._in[0, lo:hi], self._in[1, lo:hi], out=self._out[lo:hi])
+            for r in range(2, self.world):
+                self._out[lo:hi] += self._in[r, lo:hi]
+        self._barrier.wait()
+        vec[:] = self._out
+        self._barrier.wait()
+
+    def close(self) -> None:
+        self._in = None  # type: ignore[assignment]
+        self._out = None  # type: ignore[assignment]
+        self._in_att.close()
+        self._out_att.close()

@@ -1,0 +1,437 @@
+"""Real data-parallel training: per-rank shards, shared-memory allreduce.
+
+:func:`fit_data_parallel` trains one model on ``world`` ranks.  Each
+step, every rank draws the *same* global-batch permutation slice (the
+data-order RNG is replicated bit-for-bit into every rank), computes
+gradients on its ``batch_size / world`` micro-batch, and the gradients
+are averaged through the deterministic shared-memory allreduce of
+:mod:`repro.parallel.allreduce`.  All ranks then apply the identical
+averaged gradient with identical optimizer state, so replica weights
+never diverge — standard DDP, actually running on processes.
+
+Two backends, one contract:
+
+* ``backend="process"`` — real OS processes; the dataset is published
+  once through the shared-memory data plane and ranks attach zero-copy.
+* ``backend="serial"`` — the same algorithm executed by one process
+  (rank micro-batches evaluated sequentially, combined with
+  :func:`~repro.parallel.allreduce.reduce_ranks`).
+
+Because the reduction association order is pinned (ascending rank
+order in both backends) the two produce **bit-identical** weights —
+the parity gate ``benchmarks/bench_parallel.py`` enforces.  With
+``world=1`` the loop degenerates to plain mini-batch SGD and matches
+``Model.fit`` exactly (same RNG draw order, provided ``batch_size``
+divides the dataset — the loop drops the ragged tail batch so shards
+stay equal-sized).
+
+``pre_step_hook(rank, step)`` runs during micro-batch assembly — the
+place a real pipeline pays its staging latency (and where the parallel
+benchmark injects a measured stall); ``prefetch=True`` overlaps that
+assembly with compute via :class:`~repro.parallel.prefetch.PrefetchLoader`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import losses as losses_mod
+from ..nn.model import Model
+from ..nn.optim import Adam, Optimizer
+from ..nn.tensor import Tensor
+from ..obs.context import get_recorder
+from .allreduce import AllreduceHandle, RankReducer, create_allreduce, reduce_ranks
+from .pool import DEFAULT_WORKER_ENV
+from .prefetch import PrefetchLoader
+from .shm import SharedArrayRef, attach, SharedArrayStore
+
+
+@dataclass
+class DataParallelResult:
+    """Outcome of a data-parallel fit (either backend)."""
+
+    world: int
+    backend: str
+    epochs: int
+    steps_per_epoch: int
+    elapsed_s: float
+    epoch_losses: List[float]
+    epoch_times: List[float] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return self.epochs * self.steps_per_epoch
+
+    @property
+    def steps_per_s(self) -> float:
+        """Global train-step throughput (the bench acceptance metric)."""
+        return self.steps / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1]
+
+
+@dataclass
+class _TrainSpec:
+    """Everything a rank needs, in one picklable bundle (the model and
+    RNG state cross the process boundary once, at rank startup)."""
+
+    model_bytes: bytes
+    rng_state: dict
+    world: int
+    epochs: int
+    batch_size: int  # global batch; each rank takes batch_size/world
+    loss: object  # name or picklable callable
+    lr: float
+    optimizer_factory: Optional[Callable]
+    shuffle: bool
+    pre_step_hook: Optional[Callable[[int, int], None]]
+    prefetch: bool
+    n_samples: int
+
+
+def _param_layout(params) -> Tuple[List[Tuple[int, int, Tuple[int, ...]]], int]:
+    """(offset, size, shape) per parameter in one flat float64 vector,
+    plus the vector length (one trailing slot carries the batch loss)."""
+    layout = []
+    off = 0
+    for p in params:
+        layout.append((off, p.data.size, p.data.shape))
+        off += p.data.size
+    return layout, off + 1
+
+
+def _grads_into(model, loss_fn, params, layout, xb, yb, out_vec) -> None:
+    """One micro-batch forward/backward; pack grads + loss into out_vec."""
+    for p in params:
+        p.grad = None
+    target = xb if yb is None else yb
+    loss = loss_fn(model.forward(Tensor(xb), training=True), target)
+    loss.backward()
+    for p, (off, size, _) in zip(params, layout):
+        if p.grad is None:
+            out_vec[off:off + size] = 0.0
+        else:
+            out_vec[off:off + size] = p.grad.ravel()
+    out_vec[-1] = loss.item()
+
+
+def _apply_combined(params, layout, combined, opt) -> None:
+    """Point each param's grad at its slice of the averaged vector and step."""
+    for p, (off, size, shape) in zip(params, layout):
+        p.grad = combined[off:off + size].reshape(shape)
+    opt.step()
+
+
+def _epoch_batches(x, y, perm, steps, batch, micro, ranks, hook):
+    """Micro-batch assembly for one epoch, staging hook included.
+
+    Yields one ``(xb, yb)`` per (step, rank) pair in deterministic
+    order.  This generator is what ``prefetch=True`` overlaps with
+    compute — the gather *and* the staging hook run on the producer
+    thread while the consumer computes the previous step.
+    """
+    for step in range(steps):
+        base = step * batch
+        for rank in ranks:
+            if hook is not None:
+                hook(rank, step)
+            idx = perm[base + rank * micro: base + (rank + 1) * micro]
+            yield x[idx], (None if y is None else y[idx])
+
+
+def _make_optimizer(spec: _TrainSpec, params) -> Optimizer:
+    if spec.optimizer_factory is not None:
+        return spec.optimizer_factory(params)
+    return Adam(params, lr=spec.lr)
+
+
+def _restore_rng(state: dict) -> np.random.Generator:
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state
+    return rng
+
+
+def _train_rank(model, x, y, spec: _TrainSpec, rank: int,
+                reducer: Optional[RankReducer]) -> Tuple[List[float], List[float]]:
+    """The per-rank training loop (process backend).
+
+    Returns (epoch mean losses, epoch wall times).  The combined
+    gradient is ``(sum over ranks in ascending order) * (1/world)`` —
+    the exact float sequence the serial backend replays.
+    """
+    params = list(model.parameters())
+    loss_fn = losses_mod.get(spec.loss) if isinstance(spec.loss, str) else spec.loss
+    opt = _make_optimizer(spec, params)
+    rng = _restore_rng(spec.rng_state)
+    layout, total = _param_layout(params)
+    buf = np.empty(total, dtype=np.float64)
+    micro = spec.batch_size // spec.world
+    steps = spec.n_samples // spec.batch_size
+    inv_world = 1.0 / spec.world
+    epoch_losses: List[float] = []
+    epoch_times: List[float] = []
+    for _ in range(spec.epochs):
+        t0 = time.perf_counter()
+        perm = rng.permutation(spec.n_samples) if spec.shuffle else np.arange(spec.n_samples)
+        batches = _epoch_batches(
+            x, y, perm, steps, spec.batch_size, micro, (rank,), spec.pre_step_hook
+        )
+        if spec.prefetch:
+            batches = iter(PrefetchLoader(batches))
+        loss_sum = 0.0
+        for xb, yb in batches:
+            _grads_into(model, loss_fn, params, layout, xb, yb, buf)
+            if reducer is not None:
+                reducer.allreduce(buf)
+            buf *= inv_world
+            _apply_combined(params, layout, buf, opt)
+            loss_sum += buf[-1]
+        epoch_losses.append(loss_sum / max(steps, 1))
+        epoch_times.append(time.perf_counter() - t0)
+    return epoch_losses, epoch_times
+
+
+def _train_serial(model, x, y, spec: _TrainSpec) -> Tuple[List[float], List[float]]:
+    """Single-process reference: same shards, same reduction order."""
+    params = list(model.parameters())
+    loss_fn = losses_mod.get(spec.loss) if isinstance(spec.loss, str) else spec.loss
+    opt = _make_optimizer(spec, params)
+    rng = _restore_rng(spec.rng_state)
+    layout, total = _param_layout(params)
+    world = spec.world
+    rank_vecs = np.empty((world, total), dtype=np.float64)
+    micro = spec.batch_size // world
+    steps = spec.n_samples // spec.batch_size
+    inv_world = 1.0 / world
+    epoch_losses: List[float] = []
+    epoch_times: List[float] = []
+    for _ in range(spec.epochs):
+        t0 = time.perf_counter()
+        perm = rng.permutation(spec.n_samples) if spec.shuffle else np.arange(spec.n_samples)
+        batches = _epoch_batches(
+            x, y, perm, steps, spec.batch_size, micro, range(world), spec.pre_step_hook
+        )
+        if spec.prefetch:
+            batches = iter(PrefetchLoader(batches))
+        loss_sum = 0.0
+        for step in range(steps):
+            for r in range(world):
+                xb, yb = next(batches)
+                _grads_into(model, loss_fn, params, layout, xb, yb, rank_vecs[r])
+            combined = reduce_ranks(list(rank_vecs))
+            combined *= inv_world
+            _apply_combined(params, layout, combined, opt)
+            loss_sum += combined[-1]
+        epoch_losses.append(loss_sum / max(steps, 1))
+        epoch_times.append(time.perf_counter() - t0)
+    return epoch_losses, epoch_times
+
+
+def _rank_main(rank: int, spec: _TrainSpec, x_ref: SharedArrayRef,
+               y_ref: Optional[SharedArrayRef], handle: AllreduceHandle,
+               result_q, env: Dict[str, str]) -> None:
+    if env:
+        os.environ.update(env)
+    reducer = None
+    x_att = y_att = None
+    try:
+        x_att = attach(x_ref)
+        y_att = attach(y_ref) if y_ref is not None else None
+        model = pickle.loads(spec.model_bytes)
+        reducer = RankReducer(handle, rank)
+        losses, times = _train_rank(
+            model, x_att.array, None if y_att is None else y_att.array,
+            spec, rank, reducer,
+        )
+        payload = None
+        if rank == 0:
+            payload = (model.get_weights(), losses, times)
+        result_q.put(("done", rank, payload))
+    except BaseException:
+        result_q.put(("error", rank, traceback.format_exc()))
+    finally:
+        if reducer is not None:
+            reducer.close()
+        if x_att is not None:
+            x_att.close()
+        if y_att is not None:
+            y_att.close()
+
+
+def fit_data_parallel(
+    model: Model,
+    x: np.ndarray,
+    y: Optional[np.ndarray] = None,
+    *,
+    world: int = 2,
+    epochs: int = 5,
+    batch_size: int = 32,
+    loss="mse",
+    lr: float = 1e-3,
+    optimizer_factory: Optional[Callable] = None,
+    seed: int = 0,
+    shuffle: bool = True,
+    backend: str = "process",
+    start_method: Optional[str] = None,
+    pre_step_hook: Optional[Callable[[int, int], None]] = None,
+    prefetch: bool = False,
+    env: Optional[Dict[str, str]] = None,
+    timeout_s: float = 600.0,
+) -> DataParallelResult:
+    """Train ``model`` data-parallel on ``world`` ranks; weights land in
+    ``model``.
+
+    ``batch_size`` is the *global* batch and must be divisible by
+    ``world``; the ragged tail of each epoch (fewer than ``batch_size``
+    samples) is dropped so every rank always holds an equal micro-batch
+    — the precondition for the 1/world averaging to be exact.
+
+    ``backend="process"`` runs real rank processes over the shared-
+    memory data plane; ``backend="serial"`` executes the identical
+    algorithm in-process.  Both produce bit-identical weights (the
+    allreduce association order is pinned), which is the testable
+    definition of "the parallel path does not change the numerics".
+
+    ``optimizer_factory(params) -> Optimizer`` builds each rank's local
+    optimizer (default: ``Adam(lr=lr)``); with ``start_method="spawn"``
+    it, the loss callable, and ``pre_step_hook`` must be module-level
+    picklables.
+    """
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    if backend not in ("process", "serial"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if batch_size % world != 0:
+        raise ValueError(f"batch_size {batch_size} not divisible by world {world}")
+    x = np.ascontiguousarray(x)
+    y_arr = None if y is None else np.ascontiguousarray(y)
+    n = len(x)
+    if y_arr is not None and len(y_arr) != n:
+        raise ValueError(f"x and y length mismatch: {n} vs {len(y_arr)}")
+    steps = n // batch_size
+    if steps < 1:
+        raise ValueError(f"dataset ({n}) smaller than one global batch ({batch_size})")
+
+    rng = np.random.default_rng(seed)
+    if not model.built:
+        model.build(x.shape[1:], rng)
+    params = list(model.parameters())
+    layout, total = _param_layout(params)
+
+    spec = _TrainSpec(
+        model_bytes=pickle.dumps(model),
+        rng_state=rng.bit_generator.state,
+        world=world, epochs=epochs, batch_size=batch_size, loss=loss, lr=lr,
+        optimizer_factory=optimizer_factory, shuffle=shuffle,
+        pre_step_hook=pre_step_hook, prefetch=prefetch, n_samples=n,
+    )
+
+    rec = get_recorder()
+    span_id = None
+    if rec is not None:
+        span_id = rec.begin(
+            "ddp_fit", kind="ddp.fit", world=world, backend=backend,
+            epochs=epochs, steps_per_epoch=steps, batch_size=batch_size,
+            data_bytes=x.nbytes + (0 if y_arr is None else y_arr.nbytes),
+        )
+
+    t0 = time.perf_counter()
+    try:
+        if backend == "serial" or world == 1:
+            # world==1 process mode would pay the data-plane setup for a
+            # pool of one; run it in-process (identical numerics).
+            losses, times = _train_serial(model, x, y_arr, spec)
+        else:
+            losses, times = _run_processes(
+                model, x, y_arr, spec, total, start_method, env, timeout_s
+            )
+        elapsed = time.perf_counter() - t0
+    except BaseException:
+        if rec is not None:
+            rec.end(span_id, aborted=True)
+        raise
+
+    if rec is not None:
+        for i, (dt, lv) in enumerate(zip(times, losses)):
+            rec.add_complete("epoch", kind="ddp.epoch", dur_wall=dt, epoch=i, loss=lv)
+        rec.end(span_id, elapsed_s=elapsed, final_loss=losses[-1])
+    return DataParallelResult(
+        world=world, backend=backend, epochs=epochs, steps_per_epoch=steps,
+        elapsed_s=elapsed, epoch_losses=losses, epoch_times=times,
+    )
+
+
+def _run_processes(model, x, y, spec: _TrainSpec, vec_len: int,
+                   start_method: Optional[str], env: Optional[Dict[str, str]],
+                   timeout_s: float) -> Tuple[List[float], List[float]]:
+    ctx = mp.get_context(start_method)
+    env = DEFAULT_WORKER_ENV if env is None else env
+    with SharedArrayStore(prefix="repro_ddp") as store:
+        x_ref = store.publish("x", x)
+        y_ref = store.publish("y", y) if y is not None else None
+        handle = create_allreduce(store, ctx, spec.world, vec_len)
+        result_q = ctx.Queue()
+        saved = {k: os.environ.get(k) for k in env}
+        os.environ.update(env)
+        try:
+            procs = [
+                ctx.Process(
+                    target=_rank_main,
+                    args=(r, spec, x_ref, y_ref, handle, result_q, env),
+                    daemon=True,
+                )
+                for r in range(spec.world)
+            ]
+            for p in procs:
+                p.start()
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+        payload = None
+        try:
+            done = 0
+            deadline = time.perf_counter() + timeout_s
+            while done < spec.world:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TimeoutError(f"data-parallel ranks not done within {timeout_s}s")
+                try:
+                    status, rank, data = result_q.get(timeout=min(remaining, 1.0))
+                except queue_mod.Empty:
+                    if any(p.exitcode not in (None, 0) for p in procs):
+                        raise RuntimeError(
+                            "a data-parallel rank died: "
+                            + str([p.exitcode for p in procs])
+                        )
+                    continue
+                if status == "error":
+                    raise RuntimeError(f"rank {rank} failed:\n{data}")
+                done += 1
+                if rank == 0:
+                    payload = data
+            for p in procs:
+                p.join(timeout=5.0)
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+    if payload is None:  # pragma: no cover - rank 0 always reports
+        raise RuntimeError("rank 0 produced no result")
+    weights, losses, times = payload
+    model.set_weights(weights)
+    return losses, times

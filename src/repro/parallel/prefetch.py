@@ -1,0 +1,97 @@
+"""Background-thread prefetching: overlap batch assembly with compute.
+
+Batch assembly (fancy-index gathers, staging waits, augmentation) and
+the NumPy compute of a training step are naturally overlappable: the
+gather is memory/IO-bound and the heavy BLAS kernels release the GIL.
+:class:`PrefetchLoader` wraps any batch iterable with a producer thread
+and a small bounded queue (double buffering by default), so batch
+``t+1`` is assembled while step ``t`` computes.
+
+The wrapper is ordering- and value-transparent: batches come out
+exactly as the underlying loader yields them, so training remains
+bit-identical with prefetching on or off — it only moves *when* the
+assembly work happens.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Iterable, Iterator
+
+
+class _EndOfEpoch:
+    pass
+
+
+class _ProducerError:
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class PrefetchLoader:
+    """Wrap a batch iterable with an N-deep background prefetch buffer.
+
+    Parameters
+    ----------
+    loader:
+        Any re-iterable yielding batches (typically a
+        :class:`repro.nn.DataLoader`).  Each ``__iter__`` starts a fresh
+        producer thread, so one wrapper serves many epochs.
+    depth:
+        Buffer capacity; 2 is classic double buffering (one batch being
+        consumed, one being assembled).
+    """
+
+    def __init__(self, loader: Iterable, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.loader = loader
+        self.depth = depth
+
+    def __len__(self) -> int:
+        return len(self.loader)  # type: ignore[arg-type]
+
+    @property
+    def n_samples(self) -> int:
+        return self.loader.n_samples  # type: ignore[attr-defined]
+
+    def __iter__(self) -> Iterator[Any]:
+        buf: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for item in self.loader:
+                    while not stop.is_set():
+                        try:
+                            buf.put(item, timeout=0.05)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                buf.put(_EndOfEpoch())
+            except BaseException as exc:  # propagate into the consumer
+                buf.put(_ProducerError(exc))
+
+        thread = threading.Thread(target=produce, daemon=True, name="prefetch")
+        thread.start()
+        try:
+            while True:
+                item = buf.get()
+                if isinstance(item, _EndOfEpoch):
+                    break
+                if isinstance(item, _ProducerError):
+                    raise item.exc
+                yield item
+        finally:
+            # Early exit (break / exception): release the producer if it
+            # is blocked on a full buffer, then reap the thread.
+            stop.set()
+            while True:
+                try:
+                    buf.get_nowait()
+                except queue.Empty:
+                    break
+            thread.join(timeout=5.0)

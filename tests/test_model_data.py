@@ -185,6 +185,45 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             shard(np.zeros(10), None, 5, 4)
 
+    def test_shard_uneven_remainder_goes_to_last_rank(self):
+        x = np.arange(11)
+        sizes = [len(shard(x, None, r, 3)[0]) for r in range(3)]
+        assert sizes == [3, 3, 5]  # last rank absorbs the remainder
+
+    def test_shard_world_one_is_identity(self):
+        x = np.arange(10)
+        y = np.arange(10) * 2
+        xs, ys = shard(x, y, 0, 1)
+        assert np.array_equal(xs, x) and np.array_equal(ys, y)
+
+    def test_shard_concatenation_reconstructs_with_y(self):
+        x = np.arange(23).reshape(23, 1)
+        y = np.arange(23) * 3
+        parts = [shard(x, y, r, 4) for r in range(4)]
+        assert np.array_equal(np.concatenate([p[0] for p in parts]), x)
+        assert np.array_equal(np.concatenate([p[1] for p in parts]), y)
+
+    def test_seed_param_matches_explicit_rng(self):
+        x = np.arange(40).reshape(40, 1).astype(float)
+        a = DataLoader(x, None, batch_size=8, seed=5)
+        b = DataLoader(x, None, batch_size=8, rng=np.random.default_rng(5))
+        for (xa, _), (xb, _) in zip(a, b):
+            assert np.array_equal(xa, xb)
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((4, 1)), None, rng=np.random.default_rng(0), seed=1)
+
+    def test_default_loaders_share_permutation_sequence(self):
+        # The documented reproducibility contract: no rng and no seed
+        # means a fresh default_rng(0) per loader — identical shuffles.
+        x = np.arange(64).reshape(64, 1).astype(float)
+        a = DataLoader(x, None, batch_size=16)
+        b = DataLoader(x, None, batch_size=16)
+        for _ in range(2):
+            for (xa, _), (xb, _) in zip(a, b):
+                assert np.array_equal(xa, xb)
+
     def test_train_val_split_sizes(self):
         x = np.zeros((100, 2))
         y = np.zeros(100)

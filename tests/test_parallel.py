@@ -1,0 +1,446 @@
+"""The real multi-core execution engine (:mod:`repro.parallel`).
+
+Covers the four layers bottom-up — shared-memory data plane, process
+worker pool (including died-worker respawn and spawn mode), the
+deterministic allreduce (bit-identical to the serial reference), and
+the two drivers: :func:`fit_data_parallel` (process backend must be
+bit-identical to the serial backend, and ``world=1`` must match
+``Model.fit`` exactly) and :class:`ParallelTrialExecutor` (real-clock
+``run_parallel`` must find the same best config as ``run_sequential``
+and preserve the retry/quarantine semantics of the simulated mode).
+"""
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.hpo.scheduler import run_parallel, run_sequential
+from repro.hpo.space import Float, SearchSpace
+from repro.hpo.strategies import RandomSearch
+from repro.nn import DataLoader, Dense, Sequential
+from repro.obs import TraceRecorder
+from repro.parallel import (
+    DEFAULT_WORKER_ENV,
+    ParallelTrialExecutor,
+    PrefetchLoader,
+    ProcessWorkerPool,
+    RankReducer,
+    SharedArrayStore,
+    attach,
+    bind_worker_data,
+    chunk_bounds,
+    create_allreduce,
+    echo_task,
+    fit_data_parallel,
+    reduce_ranks,
+    worker_data,
+)
+from repro.resilience.faults import FaultInjector
+
+
+# Module-level task/objective functions: the pool ships them to workers
+# (trivially under fork; they'd need a real import path under spawn,
+# which is why the spawn test uses the library-provided echo_task).
+def _square_task(payload):
+    return payload * payload
+
+
+def _fail_on_negative(payload):
+    if payload < 0:
+        raise ValueError(f"bad payload {payload}")
+    return payload
+
+
+def _exit_task(payload):
+    if payload == "die":
+        os._exit(3)
+    return payload
+
+
+def _sleep_objective(config, budget):
+    time.sleep(0.01)
+    return float((config["lr"] - 0.01) ** 2)
+
+
+def _data_objective(config, budget):
+    x = worker_data()["x"]
+    return float((config["lr"] - 0.01) ** 2 + 0.0 * x.mean())
+
+
+def make_regression(n=96, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    w = rng.standard_normal(d)
+    y = (x @ w).reshape(-1, 1) + 0.1 * rng.standard_normal((n, 1))
+    return x, y
+
+
+def make_net():
+    return Sequential([Dense(8, activation="tanh"), Dense(1)])
+
+
+def weights_equal(a, b):
+    wa, wb = a.get_weights(), b.get_weights()
+    assert len(wa) == len(wb)
+    return max(float(np.abs(p - q).max()) for p, q in zip(wa, wb))
+
+
+class TestSharedMemory:
+    def test_publish_attach_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((17, 5)).astype(np.float32)
+        with SharedArrayStore(prefix="repro_test") as store:
+            ref = store.publish("x", arr)
+            assert ref.shape == (17, 5) and ref.nbytes == arr.nbytes
+            with attach(ref) as att:
+                assert np.array_equal(att.array, arr)
+                # Zero-copy: owner-side writes are visible through the view.
+                store.array("x")[0, 0] = 42.0
+                assert att.array[0, 0] == 42.0
+
+    def test_refs_are_picklable_and_small(self):
+        with SharedArrayStore(prefix="repro_test") as store:
+            store.publish("x", np.zeros((1000, 100)))
+            blob = pickle.dumps(store.refs())
+            assert len(blob) < 512  # the point: refs ship, arrays don't
+
+    def test_duplicate_key_rejected(self):
+        with SharedArrayStore(prefix="repro_test") as store:
+            store.publish("x", np.zeros(4))
+            with pytest.raises(ValueError):
+                store.publish("x", np.zeros(4))
+
+    def test_close_unlinks_and_is_idempotent(self):
+        store = SharedArrayStore(prefix="repro_test")
+        ref = store.publish("x", np.arange(8.0))
+        store.close()
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            attach(ref)
+
+    def test_total_bytes(self):
+        with SharedArrayStore(prefix="repro_test") as store:
+            store.publish("a", np.zeros(10, dtype=np.float64))
+            store.publish("b", np.zeros(6, dtype=np.float32))
+            assert store.total_bytes == 80 + 24
+            assert len(store) == 2
+
+
+class TestProcessWorkerPool:
+    def test_map_preserves_submission_order(self):
+        with ProcessWorkerPool(_square_task, 2) as pool:
+            res = pool.map(list(range(8)))
+        assert [r.value for r in res] == [i * i for i in range(8)]
+        assert all(r.status == "ok" for r in res)
+        assert all(r.duration_s >= 0.0 for r in res)
+
+    def test_task_exception_is_err_result_not_crash(self):
+        with ProcessWorkerPool(_fail_on_negative, 2) as pool:
+            res = pool.map([3, -1, 4])
+        assert [r.status for r in res] == ["ok", "err", "ok"]
+        assert "bad payload -1" in res[1].value  # traceback text
+        assert res[0].value == 3 and res[2].value == 4
+
+    def test_dead_worker_respawned_and_task_reported(self):
+        with ProcessWorkerPool(_exit_task, 2) as pool:
+            res = pool.map(["a", "die", "b", "c"], timeout=60.0)
+            statuses = sorted(r.status for r in res)
+            assert statuses == ["died", "ok", "ok", "ok"]
+            assert pool.respawns == 1
+            # Pool capacity survived: it can still run tasks afterwards.
+            after = pool.map(["d", "e"], timeout=60.0)
+            assert [r.value for r in after] == ["d", "e"]
+
+    def test_spawn_mode_smoke(self):
+        # Spawn children import fresh interpreters, so the task must be
+        # importable — the library's echo_task is.
+        with ProcessWorkerPool(echo_task, 2, start_method="spawn") as pool:
+            res = pool.map([10, 11, 12], timeout=120.0)
+        assert sorted(r.value for r in res) == [10, 11, 12]
+
+    def test_next_result_without_outstanding_raises(self):
+        with ProcessWorkerPool(echo_task, 1) as pool:
+            with pytest.raises(RuntimeError):
+                pool.next_result()
+
+    def test_submit_after_close_raises(self):
+        pool = ProcessWorkerPool(echo_task, 1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(1)
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessWorkerPool(echo_task, 0)
+
+    def test_obs_gauge_and_counters(self):
+        with TraceRecorder() as rec:
+            with ProcessWorkerPool(_square_task, 2) as pool:
+                pool.map(list(range(5)))
+            assert rec.metrics.counter("parallel.tasks_completed").value == 5
+            assert rec.metrics.gauge("parallel.queue_depth").value == 0
+            spawns = [e for e in rec.events(kind="parallel.worker")
+                      if e["name"] == "worker_spawn"]
+            assert len(spawns) == 2
+
+
+class TestAllreduce:
+    def test_chunk_bounds_partition(self):
+        for n in (1, 7, 16, 33):
+            for world in (1, 2, 3, 5):
+                bounds = [chunk_bounds(n, world, r) for r in range(world)]
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                for (lo_a, hi_a), (lo_b, _) in zip(bounds, bounds[1:]):
+                    assert hi_a == lo_b and hi_a >= lo_a
+
+    def test_reduce_ranks_matches_manual_order(self):
+        rng = np.random.default_rng(1)
+        vecs = [rng.standard_normal(13) for _ in range(4)]
+        expect = ((vecs[0].copy() + vecs[1]) + vecs[2]) + vecs[3]
+        assert np.array_equal(reduce_ranks(vecs), expect)
+        with pytest.raises(ValueError):
+            reduce_ranks([])
+
+    @pytest.mark.parametrize("world", [2, 3])
+    def test_process_allreduce_bitwise_matches_serial(self, world):
+        n = 37
+        rng = np.random.default_rng(7)
+        vecs = [rng.standard_normal(n) for _ in range(world)]
+        expect = reduce_ranks(vecs)
+        ctx = mp.get_context()
+        with SharedArrayStore(prefix="repro_test") as store:
+            handle = create_allreduce(store, ctx, world, n)
+            out_q = ctx.Queue()
+            procs = [
+                ctx.Process(target=_allreduce_rank, args=(handle, r, vecs[r], out_q))
+                for r in range(world)
+            ]
+            for p in procs:
+                p.start()
+            outs = dict(out_q.get(timeout=60.0) for _ in range(world))
+            for p in procs:
+                p.join(timeout=10.0)
+        for r in range(world):
+            assert np.array_equal(outs[r], expect), f"rank {r} diverged"
+
+    def test_world_one_is_noop(self):
+        ctx = mp.get_context()
+        with SharedArrayStore(prefix="repro_test") as store:
+            handle = create_allreduce(store, ctx, 1, 5)
+            red = RankReducer(handle, 0)
+            v = np.arange(5.0)
+            red.allreduce(v)
+            assert np.array_equal(v, np.arange(5.0))
+            with pytest.raises(ValueError):
+                red.allreduce(np.zeros(4))
+            red.close()
+
+    def test_bad_rank_rejected(self):
+        ctx = mp.get_context()
+        with SharedArrayStore(prefix="repro_test") as store:
+            handle = create_allreduce(store, ctx, 2, 5)
+            with pytest.raises(ValueError):
+                RankReducer(handle, 2)
+
+
+def _allreduce_rank(handle, rank, vec, out_q):
+    red = RankReducer(handle, rank)
+    v = vec.copy()
+    red.allreduce(v)
+    out_q.put((rank, v))
+    red.close()
+
+
+class TestDataParallelFit:
+    def test_process_backend_bit_identical_to_serial(self):
+        x, y = make_regression()
+        m_proc, m_ser = make_net(), make_net()
+        r_proc = fit_data_parallel(
+            m_proc, x, y, world=2, epochs=3, batch_size=16, backend="process", seed=4
+        )
+        r_ser = fit_data_parallel(
+            m_ser, x, y, world=2, epochs=3, batch_size=16, backend="serial", seed=4
+        )
+        assert weights_equal(m_proc, m_ser) == 0.0
+        assert r_proc.epoch_losses == r_ser.epoch_losses
+        assert r_proc.steps == r_ser.steps == 3 * (96 // 16)
+
+    def test_world_one_matches_model_fit(self):
+        x, y = make_regression()
+        m_ddp, m_fit = make_net(), make_net()
+        fit_data_parallel(
+            m_ddp, x, y, world=1, epochs=2, batch_size=16, backend="serial", seed=0
+        )
+        m_fit.fit(x, y, epochs=2, batch_size=16, seed=0, verbose=0)
+        assert weights_equal(m_ddp, m_fit) == 0.0
+
+    def test_training_reduces_loss(self):
+        x, y = make_regression()
+        m = make_net()
+        res = fit_data_parallel(
+            m, x, y, world=2, epochs=8, batch_size=16, backend="serial", lr=1e-2
+        )
+        assert res.final_loss < res.epoch_losses[0] * 0.7
+        assert res.steps_per_s > 0
+
+    def test_prefetch_does_not_change_numerics(self):
+        x, y = make_regression()
+        m_plain, m_pre = make_net(), make_net()
+        fit_data_parallel(m_plain, x, y, world=2, epochs=2, batch_size=16,
+                          backend="serial", seed=1)
+        fit_data_parallel(m_pre, x, y, world=2, epochs=2, batch_size=16,
+                          backend="serial", seed=1, prefetch=True)
+        assert weights_equal(m_plain, m_pre) == 0.0
+
+    def test_validation_errors(self):
+        x, y = make_regression()
+        with pytest.raises(ValueError):
+            fit_data_parallel(make_net(), x, y, world=0)
+        with pytest.raises(ValueError):
+            fit_data_parallel(make_net(), x, y, world=3, batch_size=16)
+        with pytest.raises(ValueError):
+            fit_data_parallel(make_net(), x, y, backend="mpi")
+        with pytest.raises(ValueError):
+            fit_data_parallel(make_net(), x, y, batch_size=200)
+        with pytest.raises(ValueError):
+            fit_data_parallel(make_net(), x, y[:50], batch_size=16)
+
+    def test_obs_spans(self):
+        x, y = make_regression()
+        with TraceRecorder() as rec:
+            fit_data_parallel(make_net(), x, y, world=2, epochs=2,
+                              batch_size=16, backend="serial")
+        fits = rec.spans(kind="ddp.fit")
+        assert len(fits) == 1 and fits[0]["attrs"]["world"] == 2
+        assert len(rec.spans(kind="ddp.epoch")) == 2
+
+
+class TestParallelTrialExecutor:
+    SPACE = SearchSpace({"lr": Float(1e-4, 1e-1, log=True)})
+
+    def test_real_clock_matches_sequential_best(self):
+        x = np.random.default_rng(2).standard_normal((64, 3))
+        bind_worker_data({"x": x})
+        log_seq = run_sequential(
+            RandomSearch(self.SPACE, seed=9), _data_objective, n_trials=8
+        )
+        with ParallelTrialExecutor(2, data={"x": x}) as ex:
+            log_par = run_parallel(
+                RandomSearch(self.SPACE, seed=9), _data_objective,
+                n_trials=8, n_workers=2, executor=ex,
+            )
+        assert len(log_par.trials) == 8
+        assert log_par.best().config == log_seq.best().config
+        assert log_par.best().value == log_seq.best().value
+        # Wall-clock sim_time is monotone in completion order.
+        times = [t.sim_time for t in log_par.trials]
+        assert times == sorted(times) and times[-1] > 0
+
+    def test_injected_faults_retry_and_quarantine(self):
+        inj = FaultInjector(crash_prob=0.3, nan_prob=0.2, seed=11)
+        with TraceRecorder() as rec:
+            with ParallelTrialExecutor(2) as ex:
+                log = run_parallel(
+                    RandomSearch(self.SPACE, seed=7), _sleep_objective,
+                    n_trials=8, n_workers=2, executor=ex,
+                    injector=inj, max_retries=2,
+                )
+        assert len(log.trials) == 8
+        assert log.stats["failures"] > 0
+        assert log.stats["retries"] > 0
+        assert log.stats["failures"] == inj.counts["crash"] or log.stats["retries"] > 0
+        assert len(rec.events(kind="fault")) == inj.total_injected
+        assert np.isfinite(log.best().value)
+
+    def test_trial_spans_carry_worker_duration(self):
+        with TraceRecorder() as rec:
+            with ParallelTrialExecutor(2) as ex:
+                run_parallel(RandomSearch(self.SPACE, seed=3), _sleep_objective,
+                             n_trials=4, n_workers=2, executor=ex)
+        spans = rec.spans(kind="hpo.trial")
+        assert len(spans) == 4
+        assert all(s["attrs"]["mode"] == "process" for s in spans)
+        assert all(s["dur_wall"] >= 0.01 for s in spans)  # objective sleeps 10ms
+
+    def test_sync_mode_rejected(self):
+        with pytest.raises(ValueError, match="async-only"):
+            run_parallel(RandomSearch(self.SPACE, seed=0), _sleep_objective,
+                         n_trials=2, n_workers=2, executor=object(), sync=True)
+
+    def test_worker_count_mismatch_rejected(self):
+        ex = ParallelTrialExecutor(4)
+        with pytest.raises(ValueError, match="workers"):
+            run_parallel(RandomSearch(self.SPACE, seed=0), _sleep_objective,
+                         n_trials=2, n_workers=2, executor=ex)
+
+    def test_lifecycle_guards(self):
+        ex = ParallelTrialExecutor(1)
+        with pytest.raises(RuntimeError):
+            ex.submit({"lr": 0.01}, 1)
+        with pytest.raises(RuntimeError):
+            ex.next_result()
+        assert ex.outstanding == 0 and ex.respawns == 0
+        with pytest.raises(ValueError):
+            ParallelTrialExecutor(0)
+
+    def test_simulated_mode_untouched_by_executor_param(self):
+        # executor=None must take the exact legacy path.
+        log = run_parallel(RandomSearch(self.SPACE, seed=5), _sleep_objective,
+                           n_trials=4, n_workers=2)
+        assert len(log.trials) == 4
+
+
+class TestPrefetchLoader:
+    def test_value_and_order_transparent(self):
+        x, y = make_regression()
+        plain = DataLoader(x, y, batch_size=16, seed=3)
+        pre = PrefetchLoader(DataLoader(x, y, batch_size=16, seed=3))
+        for _ in range(2):  # re-iterable across epochs
+            got = list(pre)
+            want = list(plain)
+            assert len(got) == len(want) == len(pre)
+            for (xa, ya), (xb, yb) in zip(want, got):
+                assert np.array_equal(xa, xb) and np.array_equal(ya, yb)
+        assert pre.n_samples == 96
+
+    def test_producer_exception_propagates(self):
+        def gen():
+            yield 1
+            raise RuntimeError("boom in producer")
+
+        with pytest.raises(RuntimeError, match="boom in producer"):
+            list(PrefetchLoader(gen()))
+
+    def test_early_break_does_not_deadlock(self):
+        pre = PrefetchLoader(iter(range(1000)), depth=2)
+        for item in pre:
+            if item == 3:
+                break  # producer blocked on a full buffer must be released
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            PrefetchLoader([], depth=0)
+
+    def test_model_fit_prefetch_bit_identical(self):
+        x, y = make_regression()
+        m_plain, m_pre = make_net(), make_net()
+        m_plain.fit(x, y, epochs=2, batch_size=16, seed=0, verbose=0)
+        m_pre.fit(x, y, epochs=2, batch_size=16, seed=0, verbose=0, prefetch=True)
+        assert weights_equal(m_plain, m_pre) == 0.0
+
+
+class TestWorkerEnv:
+    def test_default_env_pins_blas_to_one_thread(self):
+        assert DEFAULT_WORKER_ENV["OMP_NUM_THREADS"] == "1"
+        assert DEFAULT_WORKER_ENV["OPENBLAS_NUM_THREADS"] == "1"
+        assert DEFAULT_WORKER_ENV["MKL_NUM_THREADS"] == "1"
+
+    def test_parent_env_restored_after_spawn(self):
+        before = os.environ.get("OMP_NUM_THREADS")
+        with ProcessWorkerPool(echo_task, 1):
+            pass
+        assert os.environ.get("OMP_NUM_THREADS") == before

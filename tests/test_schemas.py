@@ -1,7 +1,8 @@
 """Schema regression tests for every JSON artifact the repo commits.
 
 Guards against silent format drift: the committed ``BENCH_kernels.json``,
-``BENCH_serving.json``, and ``BENCH_obs.json`` must match their declared
+``BENCH_serving.json``, ``BENCH_obs.json``, and ``BENCH_parallel.json``
+must match their declared
 schemas in :mod:`repro.obs.schema`, a freshly recorded trace must pass
 the trace validator, and the validator itself must actually reject the
 malformed shapes it claims to catch (a validator that accepts everything
@@ -20,6 +21,7 @@ from repro.nn.layers import Dense
 from repro.obs import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
+    BENCH_PARALLEL_SCHEMA,
     BENCH_SERVING_SCHEMA,
     TRACE_SCHEMA_VERSION,
     SchemaError,
@@ -38,6 +40,7 @@ ARTIFACTS = [
     ("BENCH_kernels.json", BENCH_KERNELS_SCHEMA),
     ("BENCH_serving.json", BENCH_SERVING_SCHEMA),
     ("BENCH_obs.json", BENCH_OBS_SCHEMA),
+    ("BENCH_parallel.json", BENCH_PARALLEL_SCHEMA),
 ]
 
 
@@ -170,3 +173,75 @@ class TestValidatorSemantics:
         validate(3, schema)
         with pytest.raises(SchemaError):
             validate(3.5, schema)
+
+
+def _minimal_parallel_doc():
+    """A smallest-possible BENCH_parallel.json (what a smoke run emits)."""
+    return {
+        "acceptance": {
+            "parity_ok": True, "ddp_parity_max_abs_diff": 0.0,
+            "hpo_best_match": True, "hpo_speedup_4w": 3.1,
+            "hpo_speedup_min": 2.5, "hpo_speedup_ok": True,
+            "ddp_speedup_2r": 1.7, "ddp_speedup_min": 1.5, "ddp_speedup_ok": True,
+        },
+        "hpo": {
+            "n_trials": 8, "trial_stall_s": 0.3,
+            "serial": {"elapsed_s": 2.9, "best_value": 1e-5},
+            "workers": [
+                {"n_workers": 2, "elapsed_s": 1.5, "speedup": 1.9,
+                 "best_value": 1e-5, "best_match": True, "trials": 8},
+            ],
+        },
+        "ddp": {
+            "world": 2, "epochs": 2, "steps": 8, "stall_per_batch_s": 0.05,
+            "serial": {"elapsed_s": 1.0, "steps_per_s": 8.0, "final_loss": 0.4},
+            "process": {"elapsed_s": 0.6, "steps_per_s": 13.3, "final_loss": 0.4,
+                        "speedup": 1.66},
+            "parity_max_abs_diff": 0.0, "loss_match": True,
+        },
+        "prefetch": {"plain_s": 1.0, "prefetch_s": 0.6, "speedup": 1.66,
+                     "batches": 12, "stall_s": 0.05},
+        "meta": {"numpy": "1.26", "cpus": 1, "start_method": "fork",
+                 "smoke": True, "blas_pinned": True},
+    }
+
+
+class TestParallelSchema:
+    """BENCH_parallel.json pinned independently of the committed artifact."""
+
+    def test_minimal_doc_validates(self):
+        validate(_minimal_parallel_doc(), BENCH_PARALLEL_SCHEMA)
+
+    def test_rejects_missing_acceptance_gate(self):
+        doc = _minimal_parallel_doc()
+        del doc["acceptance"]["parity_ok"]
+        with pytest.raises(SchemaError, match="parity_ok"):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
+
+    def test_rejects_stringified_speedup(self):
+        doc = _minimal_parallel_doc()
+        doc["acceptance"]["hpo_speedup_4w"] = "3.1"
+        with pytest.raises(SchemaError, match=r"\$\.acceptance\.hpo_speedup_4w"):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
+
+    def test_rejects_negative_elapsed_and_zero_cpus(self):
+        doc = _minimal_parallel_doc()
+        doc["hpo"]["serial"]["elapsed_s"] = -0.1
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
+        doc = _minimal_parallel_doc()
+        doc["meta"]["cpus"] = 0
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
+
+    def test_rejects_unknown_top_level_section(self):
+        doc = _minimal_parallel_doc()
+        doc["extra_section"] = {}
+        with pytest.raises(SchemaError, match="extra_section"):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
+
+    def test_rejects_reshaped_worker_row(self):
+        doc = _minimal_parallel_doc()
+        doc["hpo"]["workers"][0].pop("speedup")
+        with pytest.raises(SchemaError, match=r"\$\.hpo\.workers\[0\]"):
+            validate(doc, BENCH_PARALLEL_SCHEMA)
