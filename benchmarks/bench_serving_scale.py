@@ -1,0 +1,94 @@
+"""Distributed serving scale benchmark.
+
+Two entry points over :func:`repro.serve.scale_bench.run_serving_scale_bench`:
+
+* ``pytest benchmarks/bench_serving_scale.py --benchmark-only -s`` —
+  smoke-mode run that prints the scale tables and gates on the
+  robustness contract: accounting exactly balanced under seeded
+  kill/hang/slow chaos (zero lost requests), completed responses
+  bit-identical to ``Model.predict``, and at least one replica
+  respawned under traffic.
+* ``python benchmarks/bench_serving_scale.py [--smoke] [--out PATH]`` —
+  the runner that emits ``BENCH_serving_scale.json``; exits nonzero if
+  any gate fails.  Equivalent to ``python -m repro serve-scale-bench``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import print_experiment  # noqa: E402
+from repro.serve.scale_bench import format_results, run_serving_scale_bench  # noqa: E402
+
+
+def test_serving_scale_bench_smoke(benchmark):
+    results = run_serving_scale_bench(smoke=True)
+    print_experiment(
+        "Distributed serving scale benchmark (smoke request counts)",
+        format_results(results),
+    )
+
+    acc = results["acceptance"]
+    assert acc["parity_ok"], "distributed outputs differ from Model.predict"
+    assert acc["accounting_ok"], "request accounting does not balance"
+    assert acc["chaos_zero_lost"], "chaos replay lost requests"
+    assert acc["respawns_ok"], "no replica respawned under traffic"
+    assert acc["speedup"] > 1.0, f"replication slower than single: {acc['speedup']:.2f}x"
+    assert results["chaos"]["parity_checked"] > 0, "chaos parity audit checked nothing"
+
+    benchmark(lambda: None)  # timing lives in the results table above
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small request counts (CI)")
+    parser.add_argument("--requests", type=int, default=None, help="override request count")
+    parser.add_argument("--replicas", type=int, default=None, help="override replica count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_serving_scale.json",
+        help="output JSON path (default: repo-root BENCH_serving_scale.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_serving_scale_bench(
+        smoke=args.smoke, seed=args.seed,
+        n_replicas=args.replicas, n_requests=args.requests,
+    )
+    print(format_results(results))
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    acc = results["acceptance"]
+    failures = []
+    if not acc["parity_ok"]:
+        failures.append("distributed outputs differ from Model.predict")
+    if not acc["accounting_ok"]:
+        failures.append("request accounting does not balance")
+    if not acc["chaos_zero_lost"]:
+        failures.append("chaos replay lost requests")
+    if not acc["respawns_ok"]:
+        failures.append("no replica respawned under traffic")
+    if args.smoke:
+        # Shared CI runners make timings noisy: require only that
+        # replication isn't slower; the committed full-mode run scores
+        # the real >=1.5x gate.
+        if acc["speedup"] <= 1.0:
+            failures.append(f"replication slower than single: {acc['speedup']:.2f}x")
+    elif not acc["speedup_ok"]:
+        failures.append(
+            f"distributed speedup {acc['speedup']:.2f}x below gate {acc['speedup_min']}x"
+        )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

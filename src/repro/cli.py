@@ -12,6 +12,9 @@ Commands
     Print how to regenerate the E1-E15 experiment tables.
 ``serve-bench``
     Run the batched-inference serving benchmark (writes BENCH_serving.json).
+``serve-scale-bench``
+    Run the distributed serving tier under traffic mixes and chaos
+    (writes BENCH_serving_scale.json).
 ``trace <trace.jsonl>``
     Validate and summarize a recorded trace: per-span-kind time breakdown,
     critical path, recorder overhead estimate; ``--chrome`` converts it
@@ -122,6 +125,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_scale_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .serve.scale_bench import format_results, run_serving_scale_bench
+
+    results = run_serving_scale_bench(
+        smoke=args.smoke, seed=args.seed,
+        n_replicas=args.replicas, n_requests=args.requests,
+    )
+    print(format_results(results))
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+    acc = results["acceptance"]
+    failures = []
+    if not acc["parity_ok"]:
+        failures.append("distributed outputs differ from Model.predict")
+    if not acc["accounting_ok"]:
+        failures.append("request accounting does not balance")
+    if not acc["chaos_zero_lost"]:
+        failures.append("chaos replay lost requests")
+    if not acc["respawns_ok"]:
+        failures.append("no replica respawned under traffic")
+    if args.smoke:
+        # Smoke timings are noise on shared machines: only require that
+        # replication isn't slower; the full run scores the real gate.
+        if acc["speedup"] <= 1.0:
+            failures.append(f"replication slower than single: {acc['speedup']:.2f}x")
+    elif not acc["speedup_ok"]:
+        failures.append(
+            f"distributed speedup {acc['speedup']:.2f}x below gate {acc['speedup_min']}x"
+        )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
         SchemaError, format_summary, read_jsonl, summarize_trace,
@@ -178,6 +219,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--out", default="BENCH_serving.json", help="output JSON path")
 
+    p_scale = sub.add_parser(
+        "serve-scale-bench", help="run the distributed serving scale benchmark"
+    )
+    p_scale.add_argument("--smoke", action="store_true", help="small request counts (CI)")
+    p_scale.add_argument("--requests", type=int, default=None, help="override request count")
+    p_scale.add_argument("--replicas", type=int, default=None, help="override replica count")
+    p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.add_argument("--out", default="BENCH_serving_scale.json", help="output JSON path")
+
     p_trace = sub.add_parser("trace", help="validate and summarize a recorded trace")
     p_trace.add_argument("trace", help="path to a trace .jsonl file")
     p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
@@ -190,6 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "price": _cmd_price,
         "experiments": _cmd_experiments,
         "serve-bench": _cmd_serve_bench,
+        "serve-scale-bench": _cmd_serve_scale_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -52,6 +52,7 @@ from .schema import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
+    BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     SchemaError,
     validate,
@@ -81,6 +82,7 @@ __all__ = [
     "SchemaError",
     "BENCH_KERNELS_SCHEMA",
     "BENCH_SERVING_SCHEMA",
+    "BENCH_SERVING_SCALE_SCHEMA",
     "BENCH_OBS_SCHEMA",
     "BENCH_PARALLEL_SCHEMA",
 ]

@@ -6,7 +6,8 @@ output, nothing notices, and three PRs later the regression tooling is
 comparing fields that no longer exist.  Each artifact therefore gets a
 declared schema — the trace JSONL records (versioned via
 :data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`), ``BENCH_kernels.json``,
-``BENCH_serving.json``, ``BENCH_obs.json``, and ``BENCH_parallel.json``
+``BENCH_serving.json``, ``BENCH_serving_scale.json``, ``BENCH_obs.json``,
+and ``BENCH_parallel.json``
 — and CI validates the generated files against them
 (``tests/test_schemas.py``).
 
@@ -266,6 +267,83 @@ BENCH_SERVING_SCHEMA = obj(
         "max_batch_size": NONNEG_INT,
         "n_requests": NONNEG_INT,
         "smoke": BOOL,
+    },
+)
+
+_REPLAY_REPORT = {
+    "n_requests": NONNEG_INT,
+    "elapsed_s": NONNEG,
+    "submitted": NONNEG_INT,
+    "completed": NONNEG_INT,
+    "shed": NONNEG_INT,
+    "timed_out": NONNEG_INT,
+    "retried_away": NONNEG_INT,
+    "retries": NONNEG_INT,
+    "respawns": NONNEG_INT,
+    "invariant_ok": BOOL,
+    "parity_checked": NONNEG_INT,
+    "parity_ok": BOOL,
+}
+
+BENCH_SERVING_SCALE_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {
+                "speedup": NONNEG,
+                "speedup_min": NONNEG,
+                "speedup_ok": BOOL,
+                "parity_ok": BOOL,
+                "accounting_ok": BOOL,
+                "chaos_zero_lost": BOOL,
+                "respawns_ok": BOOL,
+            },
+        ),
+        "single": obj(
+            {"requests": NONNEG_INT, "batches": NONNEG_INT, "elapsed_s": NONNEG,
+             "throughput_rps": NONNEG},
+        ),
+        "distributed": obj(
+            {**_REPLAY_REPORT, "throughput_rps": NONNEG, "latency": _LATENCY_SUMMARY},
+        ),
+        "mixes": arr(obj(
+            {
+                "mix": {"enum": ["poisson", "bursty", "diurnal"]},
+                "offered_rps": NONNEG,
+                "n_requests": NONNEG_INT,
+                "completed": NONNEG_INT,
+                "shed": NONNEG_INT,
+                "shed_rate": NONNEG,
+                "timed_out": NONNEG_INT,
+                "retried_away": NONNEG_INT,
+                "throughput_rps": NONNEG,
+                "p50_s": NONNEG,
+                "p99_s": NONNEG,
+                "invariant_ok": BOOL,
+                "parity_ok": BOOL,
+            },
+        )),
+        "chaos": obj(
+            {
+                **_REPLAY_REPORT,
+                "fault_counts": {"type": "object", "additionalProperties": NONNEG_INT},
+                "supervisor": obj(
+                    {"probes": NONNEG_INT, "probe_failures": NONNEG_INT,
+                     "corrupt_detected": NONNEG_INT, "recycled": NONNEG_INT},
+                ),
+                "autoscale_events": NONNEG_INT,
+                "breaker_opens": NONNEG_INT,
+            },
+        ),
+        "benchmark": STR,
+        "n_replicas": {"type": "integer", "minimum": 1},
+        "max_batch_size": {"type": "integer", "minimum": 1},
+        "n_requests": NONNEG_INT,
+        "stall_per_batch_s": NONNEG,
+        "smoke": BOOL,
+        "meta": obj(
+            {"numpy": STR, "cpus": {"type": "integer", "minimum": 1},
+             "start_method": STR, "smoke": BOOL},
+        ),
     },
 )
 

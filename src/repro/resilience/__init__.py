@@ -19,9 +19,14 @@ package *survives* them.  It provides:
 
 from .checkpoint import CheckpointManager
 from .faults import (
+    CORRUPT_RESPONSE,
     CRASH,
     FAULT_KINDS,
+    HANG_REPLICA,
+    KILL_REPLICA,
     NAN,
+    SERVING_FAULT_KINDS,
+    SLOW_REPLICA,
     STORAGE,
     STRAGGLER,
     WORKER_LOSS,
@@ -39,6 +44,8 @@ from .runtime import (
 __all__ = [
     "FaultSpec", "FaultInjector", "as_injector", "FAULT_KINDS",
     "CRASH", "STRAGGLER", "NAN", "STORAGE", "WORKER_LOSS",
+    "SERVING_FAULT_KINDS",
+    "KILL_REPLICA", "HANG_REPLICA", "SLOW_REPLICA", "CORRUPT_RESPONSE",
     "CheckpointManager",
     "ResilienceReport", "SimulatedCrash",
     "run_resilient_training", "plan_checkpoint_interval",

@@ -28,7 +28,15 @@ NAN = "nan"              # corrupted gradient / NaN objective value
 STORAGE = "storage"      # a checkpoint write fails (the old one survives)
 WORKER_LOSS = "worker_loss"  # a worker leaves the pool permanently
 
-FAULT_KINDS = (CRASH, STRAGGLER, NAN, STORAGE, WORKER_LOSS)
+#: Serving fault kinds (the chaos harness's vocabulary, drawn per
+#: (request index, replica) during a traffic replay).
+KILL_REPLICA = "kill_replica"          # replica process dies abruptly
+HANG_REPLICA = "hang_replica"          # replica wedges and stops answering
+SLOW_REPLICA = "slow_replica"          # replica answers, but slow_factor late
+CORRUPT_RESPONSE = "corrupt_response"  # replica answers with wrong bytes
+
+SERVING_FAULT_KINDS = (KILL_REPLICA, HANG_REPLICA, SLOW_REPLICA, CORRUPT_RESPONSE)
+FAULT_KINDS = (CRASH, STRAGGLER, NAN, STORAGE, WORKER_LOSS) + SERVING_FAULT_KINDS
 
 # Context tags for the keyed RNG streams (never reuse across contexts).
 _CTX_TRIAL = 1
@@ -36,6 +44,7 @@ _CTX_STEP = 2
 _CTX_STORAGE = 3
 _CTX_GRAD = 4
 _CTX_WORKER = 5
+_CTX_SERVE = 6
 
 
 @dataclass(frozen=True)
@@ -57,17 +66,32 @@ class FaultSpec:
     worker_loss_times: Tuple[float, ...] = ()
     crash_steps: Tuple[int, ...] = ()
     nan_steps: Tuple[int, ...] = ()
+    kill_replica_prob: float = 0.0
+    hang_replica_prob: float = 0.0
+    slow_replica_prob: float = 0.0
+    corrupt_response_prob: float = 0.0
+    slow_factor: float = 5.0
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("crash_prob", "straggler_prob", "nan_prob", "storage_fail_prob"):
+        for name in (
+            "crash_prob", "straggler_prob", "nan_prob", "storage_fail_prob",
+            "kill_replica_prob", "hang_replica_prob", "slow_replica_prob",
+            "corrupt_response_prob",
+        ):
             p = getattr(self, name)
             if not 0.0 <= p < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {p}")
         if self.straggler_factor < 1.0:
             raise ValueError("straggler_factor must be >= 1")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
         if self.crash_prob + self.nan_prob + self.straggler_prob >= 1.0:
             raise ValueError("fault probabilities must sum to < 1")
+        serve_sum = (self.kill_replica_prob + self.hang_replica_prob
+                     + self.slow_replica_prob + self.corrupt_response_prob)
+        if serve_sum >= 1.0:
+            raise ValueError("serving fault probabilities must sum to < 1")
         if any(t < 0 for t in self.worker_loss_times):
             raise ValueError("worker_loss_times must be non-negative")
         if any(s < 0 for s in self.crash_steps) or any(s < 0 for s in self.nan_steps):
@@ -189,6 +213,40 @@ class FaultInjector:
         if u < s.crash_prob + s.nan_prob:
             self.record(NAN)
             return NAN
+        return None
+
+    # -- serving-facing (per request per replica) -----------------------
+    def serving_fault(self, request_index: int, replica: int) -> Optional[str]:
+        """Fault (if any) to inject while ``replica`` handles the
+        ``request_index``-th replayed request.
+
+        A single uniform draw partitioned kill | hang | slow | corrupt,
+        so at most one serving fault fires per (request, replica) pair;
+        deterministic in (seed, request_index, replica) regardless of
+        how the router interleaved dispatches.  The *caller* (the chaos
+        harness) performs the actual sabotage — this is just the oracle.
+        """
+        s = self.spec
+        if (s.kill_replica_prob == s.hang_replica_prob
+                == s.slow_replica_prob == s.corrupt_response_prob == 0.0):
+            return None
+        u = self._draw(_CTX_SERVE, request_index, replica)
+        edge = s.kill_replica_prob
+        if u < edge:
+            self.record(KILL_REPLICA)
+            return KILL_REPLICA
+        edge += s.hang_replica_prob
+        if u < edge:
+            self.record(HANG_REPLICA)
+            return HANG_REPLICA
+        edge += s.slow_replica_prob
+        if u < edge:
+            self.record(SLOW_REPLICA)
+            return SLOW_REPLICA
+        edge += s.corrupt_response_prob
+        if u < edge:
+            self.record(CORRUPT_RESPONSE)
+            return CORRUPT_RESPONSE
         return None
 
     # -- storage-facing (per checkpoint write) --------------------------

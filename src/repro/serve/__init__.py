@@ -20,13 +20,50 @@ provides one, built from the library's own parts:
   experiments on the simulated clock (:class:`repro.hpc.events.EventLoop`);
 * :func:`repro.serve.bench.run_serving_bench` — the acceptance-gated
   benchmark behind ``repro serve-bench`` / ``benchmarks/bench_serving.py``.
+
+The **distributed tier** scales this out to real processes and keeps it
+alive under failure:
+
+* :class:`ReplicaGroup` (:mod:`repro.serve.distributed`) — N model
+  replicas on :class:`repro.parallel.ProcessWorkerPool` workers, weights
+  published once through shared memory;
+* :class:`Router` (:mod:`repro.serve.router`) — per-model routing,
+  admission control, per-request deadlines, bounded retries with
+  backoff, and per-replica circuit breakers;
+* :class:`ReplicaSupervisor` (:mod:`repro.serve.supervisor`) —
+  bit-identical canary probes, recycle-under-traffic, autoscaling hook;
+* :class:`ChaosHarness` / :func:`run_chaos_replay`
+  (:mod:`repro.serve.chaos`) — seeded kill/hang/slow/corrupt injection
+  with accounting + parity audits;
+* :func:`repro.serve.scale_bench.run_serving_scale_bench` — the gated
+  scale benchmark behind ``repro serve-scale-bench``.
 """
 
 from .batcher import BatchPolicy, MicroBatcher, Request
+from .chaos import ChaosHarness, run_chaos_replay
+from .distributed import ReplicaGroup
 from .metrics import LatencyHistogram, ServingStats
-from .registry import ModelRegistry, publish_model, read_checkpoint_meta
+from .registry import (
+    CheckpointIntegrityError,
+    ModelRegistry,
+    publish_model,
+    read_checkpoint_meta,
+    weights_checksum,
+)
+from .router import CircuitBreaker, RoutedRequest, Router, RouterStats
 from .server import InferenceServer
-from .simulate import AffineServiceTime, fit_service_time, simulate_serving, sweep_offered_load
+from .simulate import (
+    TRAFFIC_MIXES,
+    AffineServiceTime,
+    bursty_arrivals,
+    diurnal_arrivals,
+    fit_service_time,
+    poisson_arrivals,
+    simulate_serving,
+    sweep_offered_load,
+    traffic_arrivals,
+)
+from .supervisor import ReplicaSupervisor
 
 __all__ = [
     "BatchPolicy",
@@ -34,12 +71,27 @@ __all__ = [
     "Request",
     "LatencyHistogram",
     "ServingStats",
+    "CheckpointIntegrityError",
     "ModelRegistry",
     "publish_model",
     "read_checkpoint_meta",
+    "weights_checksum",
     "InferenceServer",
     "AffineServiceTime",
     "fit_service_time",
     "simulate_serving",
     "sweep_offered_load",
+    "TRAFFIC_MIXES",
+    "traffic_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "ReplicaGroup",
+    "Router",
+    "RouterStats",
+    "RoutedRequest",
+    "CircuitBreaker",
+    "ReplicaSupervisor",
+    "ChaosHarness",
+    "run_chaos_replay",
 ]

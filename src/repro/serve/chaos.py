@@ -1,0 +1,192 @@
+"""Chaos harness: deterministic serving-fault injection under replay.
+
+Robustness claims are only as good as the faults actually exercised, so
+the chaos harness drives the *real* distributed tier — real processes,
+real kills — from the seeded fault oracle in
+:mod:`repro.resilience.faults`:
+
+* :class:`ChaosHarness` hooks the router's dispatch path; for every
+  dispatched batch it asks :meth:`FaultInjector.serving_fault` for a
+  verdict keyed on ``(seed, first request id, replica)`` — the same
+  (seed, ids) discipline every other injector in the library uses, so a
+  replayed schedule injects the same faults at the same requests
+  regardless of wall-clock jitter;
+* the directive executes *inside the replica*: ``kill_replica`` dies
+  mid-batch (``os._exit``), ``hang_replica`` wedges until the pool's
+  hang detector terminates it, ``slow_replica`` delays the response, and
+  ``corrupt_response`` flips the replica into sticky wrong-answers state
+  that only a supervisor canary can detect;
+* :func:`run_chaos_replay` replays a request stream through the router
+  under an active harness and audits the wreckage: the accounting
+  invariant must balance (zero lost requests), and every completed
+  response must be **bit-identical** to ``Model.predict`` on the same
+  micro-batch composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..resilience.faults import (
+    CORRUPT_RESPONSE,
+    HANG_REPLICA,
+    KILL_REPLICA,
+    SERVING_FAULT_KINDS,
+    SLOW_REPLICA,
+    as_injector,
+)
+from .router import Router
+
+
+class ChaosHarness:
+    """Seeded serving-fault oracle wired into a router's dispatch path.
+
+    ``faults`` is a :class:`~repro.resilience.FaultSpec` (or injector)
+    whose ``kill_replica_prob`` / ``hang_replica_prob`` /
+    ``slow_replica_prob`` / ``corrupt_response_prob`` fields set the
+    per-dispatch fault mix.  ``slow_s`` is the injected delay for slow
+    faults (keep it under the pool's hang timeout: slow is *degraded*,
+    not dead); hang faults sleep ``hang_s`` and rely on the hang
+    detector to be put down.
+    """
+
+    def __init__(self, faults, slow_s: float = 0.05, hang_s: float = 3600.0) -> None:
+        injector = as_injector(faults)
+        if injector is None:
+            raise ValueError("chaos harness needs a FaultSpec or FaultInjector")
+        self.injector = injector
+        self.slow_s = slow_s
+        self.hang_s = hang_s
+        self.planned: List[Dict[str, Any]] = []
+
+    def attach(self, router: Router) -> "ChaosHarness":
+        router.chaos = self
+        return self
+
+    def plan(self, first_request_id: int, slot: int) -> Optional[Dict[str, Any]]:
+        """Router dispatch hook: the fault directive for this batch."""
+        kind = self.injector.serving_fault(first_request_id, slot)
+        if kind is None:
+            return None
+        self.planned.append({"kind": kind, "request_id": first_request_id, "slot": slot})
+        if kind == KILL_REPLICA:
+            return {"fault": "kill"}
+        if kind == HANG_REPLICA:
+            return {"fault": "hang", "hang_s": self.hang_s}
+        if kind == SLOW_REPLICA:
+            return {"fault": "slow", "slow_s": self.slow_s}
+        if kind == CORRUPT_RESPONSE:
+            return {"fault": "corrupt"}
+        return None  # pragma: no cover - exhaustive above
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {kind: self.injector.counts[kind] for kind in SERVING_FAULT_KINDS}
+
+
+def run_chaos_replay(
+    router: Router,
+    model: str,
+    x_pool: np.ndarray,
+    n_requests: int,
+    use_rows: bool = True,
+    arrival_times: Optional[np.ndarray] = None,
+    supervisor=None,
+    force_kill: Optional[Tuple[int, int]] = None,
+    drain_timeout_s: float = 120.0,
+) -> Dict[str, Any]:
+    """Replay ``n_requests`` through the router and audit the outcome.
+
+    ``x_pool`` is the request pool (row ``i % len(x_pool)`` serves
+    request ``i``); with ``use_rows`` the batches are row-addressed
+    (the pool must have been published to the replica group's shared
+    data plane under ``"x_pool"``).  ``arrival_times`` (seconds from
+    start, one per request) paces the open-loop replay; None submits as
+    fast as the router admits.  ``force_kill=(i, slot)`` terminates
+    ``slot`` right before request ``i`` is submitted — a deterministic
+    respawn-under-traffic probe on top of whatever the seeded oracle
+    injects.
+
+    The returned report carries the two robustness verdicts the chaos
+    suite gates on:
+
+    * ``invariant_ok`` — every submitted request reached exactly one
+      terminal state and the counters balance (zero lost requests);
+    * ``parity_ok`` — each completed response is bit-identical to the
+      parent model's ``predict`` on the same micro-batch composition.
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    router.record_batches = True
+    group = router.groups[model]
+    handles = []
+    t0 = router.clock()
+    for i in range(n_requests):
+        if arrival_times is not None:
+            while router.clock() - t0 < arrival_times[i]:
+                router.pump()
+                if supervisor is not None:
+                    supervisor.tick()
+        if force_kill is not None and i == force_kill[0]:
+            group.kill_replica(force_kill[1], reason="chaos_forced")
+        row = i % len(x_pool)
+        if use_rows:
+            handles.append(router.submit(model, row=row))
+        else:
+            handles.append(router.submit(model, x=x_pool[row]))
+        router.pump()
+        if supervisor is not None:
+            supervisor.tick()
+    deadline = router.clock() + drain_timeout_s
+    while router.pending > 0 and router.clock() < deadline:
+        router.pump()
+        if supervisor is not None:
+            supervisor.tick()
+    elapsed = router.clock() - t0
+
+    by_id = {h.request_id: h for h in handles}
+    parity_checked = 0
+    parity_ok = True
+    for batch_model, ids in router.batch_log:
+        if batch_model != model:
+            continue
+        reqs = [by_id[rid] for rid in ids if rid in by_id]
+        if not reqs or any(r.status != "completed" for r in reqs):
+            continue
+        xb = np.stack(
+            [x_pool[r.row] if r.row is not None else r.x for r in reqs], axis=0
+        )
+        expected = group.model.predict(xb, batch_size=len(xb))
+        for i, r in enumerate(reqs):
+            parity_checked += 1
+            if not np.array_equal(r.result, expected[i]):
+                parity_ok = False
+
+    stats = router.stats
+    terminal = {"completed", "shed", "timed_out", "retried_away"}
+    all_resolved = all(h.status in terminal for h in handles)
+    invariant_ok = bool(
+        stats.accounted(still_queued=router.pending) and all_resolved
+        and router.pending == 0
+    )
+    report: Dict[str, Any] = {
+        "n_requests": n_requests,
+        "elapsed_s": elapsed,
+        "submitted": stats.submitted,
+        "completed": stats.completed,
+        "shed": stats.shed,
+        "timed_out": stats.timed_out,
+        "retried_away": stats.retried_away,
+        "retries": stats.retries,
+        "respawns": group.respawns,
+        "invariant_ok": invariant_ok,
+        "parity_checked": parity_checked,
+        "parity_ok": bool(parity_ok),
+    }
+    if router.chaos is not None:
+        report["fault_counts"] = dict(router.chaos.counts)
+    if supervisor is not None:
+        report["supervisor"] = supervisor.stats()
+    return report

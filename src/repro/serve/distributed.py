@@ -1,0 +1,261 @@
+"""Replicated inference: N model replicas on real worker processes.
+
+The single-process :class:`repro.serve.InferenceServer` tops out at one
+core and dies with its process; an inference *campaign* (screening
+millions of compounds) needs replicas that survive worker death.  This
+module provides the replica plane:
+
+* Model weights are published **once** into shared memory
+  (:class:`repro.parallel.SharedArrayStore`); each replica attaches the
+  segments read-only at initialization, rebuilds the architecture from
+  :mod:`repro.candle.registry`, and installs the weights — so N replicas
+  cost one copy of the weights on the wire, and a *respawned* replica
+  reloads from the same segments without touching the checkpoint file.
+* Each replica is one slot of a :class:`repro.parallel.ProcessWorkerPool`
+  in dedicated-queue mode: batches are addressed to a specific replica,
+  a dead replica's backlog survives into its replacement (the pool
+  respawns in place), and the pool's hang detector recycles replicas
+  that wedge mid-batch.
+* The request pool for a replay/campaign can also ride the shared-memory
+  plane (``data=``): the router then ships row *indices* instead of
+  request payloads, which drops per-batch IPC to a few bytes.
+
+Scheduling policy (admission, retries, breakers) lives in
+:class:`repro.serve.router.Router`; this class is mechanism only.
+Chaos directives (``fault=``) are injected by the parent at dispatch
+time and executed inside the replica — see :mod:`repro.serve.chaos`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..candle.registry import get_benchmark
+from ..nn.model import Model
+from ..obs.context import get_recorder
+from ..parallel.pool import ProcessWorkerPool, TaskResult
+from ..parallel.shm import SharedArrayStore, attach
+from .registry import read_checkpoint_meta
+
+# Replica-global state, installed once per worker process by the pool
+# initializer (and re-installed by the initializer of every respawned
+# replacement replica).
+_MODEL: Optional[Model] = None
+_DATA: Dict[str, np.ndarray] = {}
+_ATTACHED = []  # keep shm mappings alive for the replica's lifetime
+_WEDGED = False  # sticky corrupt-response state (chaos), cleared by respawn
+
+
+def _init_replica(benchmark, input_shape, hparams, weight_refs, data_refs) -> None:
+    global _MODEL, _WEDGED
+    _WEDGED = False
+    spec = get_benchmark(benchmark)
+    model = spec.materialize(input_shape=tuple(input_shape), **hparams)
+    weights = []
+    for ref in weight_refs:
+        att = attach(ref)
+        _ATTACHED.append(att)
+        weights.append(att.array)
+    model.set_weights(weights)  # read the shared segments; never write them
+    _DATA.clear()
+    for key, ref in data_refs.items():
+        att = attach(ref)
+        _ATTACHED.append(att)
+        _DATA[key] = att.array
+    # Warm-up forward: allocate layer scratch off the request path.
+    model.predict(np.zeros((1,) + tuple(input_shape)), batch_size=1)
+    _MODEL = model
+
+
+def _replica_task(payload: Dict[str, Any]) -> np.ndarray:
+    """One inference batch inside a replica (canaries included).
+
+    ``payload["fault"]`` carries the parent-drawn chaos directive:
+    ``kill`` dies abruptly mid-batch, ``hang`` wedges until the pool's
+    hang detector fires, ``slow`` adds latency, ``corrupt`` flips the
+    replica into a *sticky* wrong-answers state (every later response is
+    corrupted until the supervisor recycles the process).
+    """
+    global _WEDGED
+    fault = payload.get("fault")
+    if fault == "kill":
+        os._exit(23)
+    if fault == "hang":
+        time.sleep(payload.get("hang_s", 3600.0))
+    if fault == "slow":
+        time.sleep(payload.get("slow_s", 0.1))
+    if fault == "corrupt":
+        _WEDGED = True
+    if payload.get("stall_s"):
+        # Models accelerator/service latency per batch (the scale bench's
+        # overlap target on small CI machines), not a fault.
+        time.sleep(payload["stall_s"])
+    if "rows" in payload:
+        xb = np.asarray(_DATA[payload.get("pool_key", "x_pool")][payload["rows"]])
+    else:
+        xb = payload["x"]
+    out = _MODEL.predict(xb, batch_size=max(len(xb), 1))
+    if _WEDGED:
+        out = out + 1.0  # wrong bytes, right shape: only a canary notices
+    return out
+
+
+class ReplicaGroup:
+    """N replicas of one model over a dedicated-queue worker pool.
+
+    Parameters
+    ----------
+    model:
+        The built source model (the parent's reference copy; its weights
+        are what gets published).
+    benchmark / input_shape / hparams:
+        How each replica rebuilds the architecture, exactly as
+        :func:`repro.serve.publish_model` records them.
+    n_replicas:
+        Pool width — one process per replica.
+    hang_timeout_s:
+        Replicas holding one batch longer than this are declared hung,
+        terminated, and respawned (the batch comes back ``"hung"`` for
+        the router to retry elsewhere).
+    data:
+        Optional arrays to publish alongside the weights (e.g. the
+        replay's request pool for row-addressed dispatch).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        benchmark: str,
+        input_shape: Tuple[int, ...],
+        hparams: Optional[Dict] = None,
+        n_replicas: int = 2,
+        hang_timeout_s: Optional[float] = 5.0,
+        data: Optional[Dict[str, np.ndarray]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.model = model
+        self.benchmark = benchmark
+        self.input_shape = tuple(input_shape)
+        self.n_replicas = n_replicas
+        self._store = SharedArrayStore(prefix="repro_serve")
+        weight_refs = [
+            self._store.publish(f"w{i}", w) for i, w in enumerate(model.get_weights())
+        ]
+        data_refs = {
+            key: self._store.publish(key, np.asarray(arr))
+            for key, arr in (data or {}).items()
+        }
+        rec = get_recorder()
+        self._span = None
+        if rec is not None:
+            self._span = rec.begin(
+                "replica_group", kind="serve.replica_group",
+                benchmark=benchmark, replicas=n_replicas,
+                weight_bytes=sum(r.nbytes for r in weight_refs),
+            )
+        self.pool = ProcessWorkerPool(
+            _replica_task,
+            n_replicas,
+            initializer=_init_replica,
+            initargs=(benchmark, self.input_shape, hparams or {}, weight_refs, data_refs),
+            start_method=start_method,
+            dedicated_queues=True,
+            max_task_retries=0,  # retry policy belongs to the Router
+            task_timeout_s=hang_timeout_s,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        n_replicas: int = 2,
+        data: Optional[Dict[str, np.ndarray]] = None,
+        **kwargs,
+    ) -> "ReplicaGroup":
+        """Build a group straight from a published (verified) checkpoint."""
+        from .registry import ModelRegistry
+
+        meta = read_checkpoint_meta(path)  # integrity-verified
+        registry = ModelRegistry(capacity=1, warmup=False)
+        registry.register(meta["benchmark"], path)
+        model = registry.get(meta["benchmark"])
+        return cls(
+            model, meta["benchmark"], tuple(meta["input_shape"]),
+            hparams=meta.get("hparams") or {}, n_replicas=n_replicas,
+            data=data, **kwargs,
+        )
+
+    # -- dispatch --------------------------------------------------------
+    def submit(
+        self,
+        replica: int,
+        x: Optional[np.ndarray] = None,
+        rows: Optional[Sequence[int]] = None,
+        fault: Optional[Dict[str, Any]] = None,
+        stall_s: float = 0.0,
+    ) -> int:
+        """Ship one batch to ``replica``; returns the pool task id.
+
+        Exactly one of ``x`` (stacked batch) or ``rows`` (indices into
+        the published request pool) must be given.
+        """
+        if (x is None) == (rows is None):
+            raise ValueError("pass exactly one of x or rows")
+        payload: Dict[str, Any] = dict(fault or {})
+        if stall_s:
+            payload["stall_s"] = stall_s
+        if x is not None:
+            payload["x"] = np.asarray(x)
+        else:
+            payload["rows"] = np.asarray(rows, dtype=np.int64)
+        return self.pool.submit(payload, slot=replica)
+
+    def wait_ready(self, timeout_s: float = 60.0) -> None:
+        """Block until every replica has built its model and attached the
+        shared segments (benches call this so replica startup is not
+        billed to the first requests)."""
+        self.pool.wait_ready(timeout_s=timeout_s)
+
+    def poll(self, timeout: float = 0.0) -> Optional[TaskResult]:
+        """One finished batch if any lands within ``timeout``, else None.
+
+        Polling also drives the pool's failure detectors: dead replicas
+        are reaped and respawned *during* this call, under traffic.
+        """
+        return self.pool.poll_result(timeout=timeout)
+
+    # -- health / chaos surface -----------------------------------------
+    def replica_alive(self, replica: int) -> bool:
+        return self.pool.worker_alive(replica)
+
+    def kill_replica(self, replica: int, reason: str = "killed") -> None:
+        """Terminate one replica process (supervisor recycle, chaos)."""
+        self.pool.terminate_worker(replica, reason=reason)
+
+    @property
+    def respawns(self) -> int:
+        return self.pool.respawns
+
+    @property
+    def outstanding(self) -> int:
+        return self.pool.outstanding
+
+    def close(self) -> None:
+        self.pool.close()
+        self._store.close()
+        rec = get_recorder()
+        if rec is not None and self._span is not None:
+            rec.end(self._span)
+            self._span = None
+
+    def __enter__(self) -> "ReplicaGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

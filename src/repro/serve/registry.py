@@ -16,10 +16,11 @@ maps ``name -> checkpoint`` and materializes models on demand:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
 
@@ -27,6 +28,28 @@ from ..candle.registry import get_benchmark
 from ..nn.model import Model
 from ..nn.serialization import load_weights, save_weights
 from ..nn.tensor import no_grad
+
+
+class CheckpointIntegrityError(RuntimeError):
+    """A serving checkpoint failed its integrity check: the file is
+    truncated, an array is corrupt, or the content checksum recorded at
+    publish time no longer matches the weights on disk.  Raised *before*
+    any weights are installed into a model."""
+
+
+def weights_checksum(weights: Iterable[np.ndarray]) -> str:
+    """SHA-256 over every weight array's dtype, shape, and raw bytes.
+
+    Order-sensitive by design — swapping two layers' weights is corruption
+    even though the multiset of bytes is unchanged.
+    """
+    h = hashlib.sha256()
+    for w in weights:
+        arr = np.ascontiguousarray(w)
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def publish_model(
@@ -51,22 +74,52 @@ def publish_model(
         "benchmark": benchmark,
         "input_shape": list(input_shape),
         "hparams": hparams or {},
+        "checksum": weights_checksum(model.get_weights()),
         "extra": metadata or {},
     }
     save_weights(model, path, metadata=meta)
     return path
 
 
-def read_checkpoint_meta(path: Union[str, Path]) -> Dict:
-    """Read just the serving metadata from a published checkpoint."""
+def read_checkpoint_meta(path: Union[str, Path], verify: bool = True) -> Dict:
+    """Read the serving metadata from a published checkpoint.
+
+    With ``verify`` (the default) the weight arrays are also read back
+    and their SHA-256 compared against the checksum recorded at publish
+    time; a truncated file, undecodable array, or checksum mismatch
+    raises :class:`CheckpointIntegrityError` instead of letting corrupt
+    weights reach a model.  Checkpoints published before checksums
+    existed (no ``checksum`` field) skip the comparison.
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as data:
-        header = json.loads(bytes(data["_meta"]).decode())
-    meta = header.get("metadata", {})
-    if "benchmark" not in meta or "input_shape" not in meta:
-        raise ValueError(f"{path} is not a serving checkpoint (use publish_model)")
+    try:
+        with np.load(path) as data:
+            header = json.loads(bytes(data["_meta"]).decode())
+            meta = header.get("metadata", {})
+            if "benchmark" not in meta or "input_shape" not in meta:
+                raise ValueError(
+                    f"{path} is not a serving checkpoint (use publish_model)"
+                )
+            if verify and "checksum" in meta:
+                n = header["n_params"]
+                actual = weights_checksum(data[f"param_{i:04d}"] for i in range(n))
+                if actual != meta["checksum"]:
+                    raise CheckpointIntegrityError(
+                        f"{path}: weight checksum mismatch (expected "
+                        f"{meta['checksum'][:16]}…, got {actual[:16]}…) — "
+                        "checkpoint is corrupt; refusing to load"
+                    )
+    except (CheckpointIntegrityError, ValueError):
+        raise
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # truncated zip, bad zlib stream, missing _meta…
+        raise CheckpointIntegrityError(
+            f"{path}: unreadable checkpoint ({type(exc).__name__}: {exc}) — "
+            "file is truncated or corrupt; refusing to load"
+        ) from exc
     return meta
 
 

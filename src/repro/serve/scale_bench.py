@@ -1,0 +1,270 @@
+"""Distributed-serving scale benchmark behind ``benchmarks/bench_serving_scale.py``
+and the ``repro serve-scale-bench`` CLI.
+
+Four measurements over the p1b2 expression classifier served through the
+full distributed tier (:class:`ReplicaGroup` + :class:`Router`):
+
+* **single** — one process, one model, the same request stream in the
+  same micro-batches (the baseline a non-replicated deployment runs);
+* **distributed** — the stream through N replicas with row-addressed
+  dispatch over the shared-memory data plane; throughput speedup is the
+  scale-out gate;
+* **mixes** — Poisson / bursty / diurnal arrival processes
+  (:func:`repro.serve.simulate.traffic_arrivals`) paced through a
+  bounded-queue router: p50/p99 and shed rate per mix, accounting exact;
+* **chaos** — the same tier under seeded kill/hang/slow injection plus
+  one forced replica kill mid-stream, supervised by canary probes: the
+  accounting invariant must balance with zero lost requests, completed
+  responses must stay bit-identical to ``Model.predict`` on the same
+  micro-batch composition, and at least one replica must respawn under
+  traffic.
+
+Each batch carries an artificial ``stall_per_batch_s`` service stall —
+identically in the baseline and inside every replica — modelling the
+accelerator/service latency that replication overlaps.  On the small CI
+machines this repo benches on (often one core), the speedup measures
+exactly that overlap, the same device-stall technique
+``BENCH_parallel.json`` uses for its DDP/HPO gates; compute-bound
+scaling needs real cores but exercises the identical code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..candle.registry import get_benchmark
+from ..resilience.faults import FaultSpec
+from .batcher import BatchPolicy
+from .chaos import ChaosHarness, run_chaos_replay
+from .distributed import ReplicaGroup
+from .router import Router
+from .simulate import TRAFFIC_MIXES, traffic_arrivals
+from .supervisor import ReplicaSupervisor
+
+BENCHMARK = "p1b2"
+POOL_ROWS = 256
+
+
+def _bench_single(model, x_pool: np.ndarray, n: int, batch: int, stall_s: float) -> Dict:
+    """The one-process baseline: same rows, same batch composition,
+    same per-batch stall the replicas pay."""
+    t0 = time.perf_counter()
+    for start in range(0, n, batch):
+        rows = [i % len(x_pool) for i in range(start, min(start + batch, n))]
+        if stall_s:
+            time.sleep(stall_s)
+        model.predict(x_pool[rows], batch_size=len(rows))
+    elapsed = time.perf_counter() - t0
+    return {
+        "requests": n,
+        "batches": (n + batch - 1) // batch,
+        "elapsed_s": elapsed,
+        "throughput_rps": n / elapsed,
+    }
+
+
+def _mix_router(group: ReplicaGroup, batch: int, stall_s: float) -> Router:
+    """Bounded-queue router for the traffic mixes: bursts must shed at
+    the door, stragglers must expire, and everything must be counted."""
+    policy = BatchPolicy(
+        max_batch_size=batch, max_wait_s=0.02, max_queue=4 * batch, timeout_s=2.0,
+    )
+    return Router({"m": group}, policy=policy, max_retries=2, stall_s=stall_s)
+
+
+def run_serving_scale_bench(
+    smoke: bool = False,
+    seed: int = 0,
+    n_replicas: Optional[int] = None,
+    n_requests: Optional[int] = None,
+    speedup_min: Optional[float] = None,
+) -> Dict:
+    """Run the full scale benchmark; returns the JSON-ready results.
+
+    ``smoke`` shrinks request counts and stalls for CI; the correctness
+    gates (parity, accounting, respawn-under-traffic) are identical in
+    both modes — only the traffic volume changes.
+    """
+    replicas = n_replicas or (3 if smoke else 4)
+    batch = 16
+    n = n_requests or (192 if smoke else 512)
+    n = (n // batch) * batch or batch  # whole batches, like the serving bench
+    stall_s = 0.01 if smoke else 0.02
+    gate = speedup_min if speedup_min is not None else 1.5
+
+    spec = get_benchmark(BENCHMARK)
+    input_shape = spec.input_shape(seed=seed)
+    model = spec.materialize(input_shape=input_shape, seed=seed)
+    rng = np.random.default_rng(seed)
+    x_pool = rng.standard_normal((POOL_ROWS,) + tuple(input_shape))
+
+    single = _bench_single(model, x_pool, n, batch, stall_s)
+
+    with ReplicaGroup(
+        model, BENCHMARK, input_shape, n_replicas=replicas,
+        hang_timeout_s=30.0, data={"x_pool": x_pool},
+    ) as group:
+        group.wait_ready()  # replica startup is not part of the measurement
+
+        # -- throughput: closed loop, unbounded queue, zero shed ---------
+        policy = BatchPolicy(
+            max_batch_size=batch, max_wait_s=0.05, max_queue=n, timeout_s=None,
+        )
+        router = Router({"m": group}, policy=policy, stall_s=stall_s)
+        dist = run_chaos_replay(router, "m", x_pool, n)
+        dist["throughput_rps"] = n / dist["elapsed_s"] if dist["elapsed_s"] > 0 else 0.0
+        dist["latency"] = router.stats.latency.summary()
+
+        # -- traffic mixes: bounded queue, paced arrivals ----------------
+        offered = 0.8 * dist["throughput_rps"]
+        mix_n = max((n // 2 // batch) * batch, batch)
+        mixes: List[Dict] = []
+        for mix in TRAFFIC_MIXES:
+            mrouter = _mix_router(group, batch, stall_s)
+            arrivals = traffic_arrivals(mix, offered, mix_n, seed=seed)
+            rep = run_chaos_replay(mrouter, "m", x_pool, mix_n, arrival_times=arrivals)
+            lat = mrouter.stats.latency.summary()
+            mixes.append({
+                "mix": mix,
+                "offered_rps": offered,
+                "n_requests": mix_n,
+                "completed": rep["completed"],
+                "shed": rep["shed"],
+                "shed_rate": rep["shed"] / mix_n,
+                "timed_out": rep["timed_out"],
+                "retried_away": rep["retried_away"],
+                "throughput_rps": rep["completed"] / rep["elapsed_s"] if rep["elapsed_s"] > 0 else 0.0,
+                "p50_s": lat["p50_s"],
+                "p99_s": lat["p99_s"],
+                "invariant_ok": rep["invariant_ok"],
+                "parity_ok": rep["parity_ok"],
+            })
+
+    # -- chaos: seeded kill/hang/slow + forced kill, under supervision ---
+    chaos_n = max((n * 3 // 4 // batch) * batch, batch)
+    chaos_batch = 4  # small batches: more dispatches, more fault draws
+    faults = FaultSpec(
+        seed=seed + 1,
+        kill_replica_prob=0.06, hang_replica_prob=0.05, slow_replica_prob=0.10,
+    )
+    autoscale_events: List[Dict] = []
+    with ReplicaGroup(
+        model, BENCHMARK, input_shape, n_replicas=replicas,
+        hang_timeout_s=1.0, data={"x_pool": x_pool},
+    ) as cgroup:
+        cgroup.wait_ready()
+        crouter = Router(
+            {"m": cgroup},
+            policy=BatchPolicy(max_batch_size=chaos_batch, max_wait_s=0.02,
+                               max_queue=chaos_n, timeout_s=30.0),
+            max_retries=3, backoff_base_s=0.02,
+            breaker_threshold=2, breaker_cooldown_s=0.25,
+        )
+        harness = ChaosHarness(faults, slow_s=0.03).attach(crouter)
+        supervisor = ReplicaSupervisor(
+            crouter, canaries={"m": x_pool[:4]},
+            probe_interval_s=0.25, probe_timeout_s=3.0,
+            on_autoscale=autoscale_events.append,
+            queue_high=4 * chaos_batch, queue_low=0, autoscale_patience=2,
+        )
+        chaos = run_chaos_replay(
+            crouter, "m", x_pool, chaos_n, supervisor=supervisor,
+            force_kill=(chaos_n // 2, 0),
+        )
+        chaos["autoscale_events"] = len(autoscale_events)
+        chaos["breaker_opens"] = sum(
+            b.opens for b in crouter._breakers.values()
+        )
+
+    speedup = dist["throughput_rps"] / single["throughput_rps"]
+    parity_ok = bool(
+        dist["parity_ok"] and chaos["parity_ok"] and all(m["parity_ok"] for m in mixes)
+    )
+    accounting_ok = bool(
+        dist["invariant_ok"] and chaos["invariant_ok"]
+        and all(m["invariant_ok"] for m in mixes)
+    )
+    return {
+        "benchmark": BENCHMARK,
+        "n_replicas": replicas,
+        "max_batch_size": batch,
+        "n_requests": n,
+        "stall_per_batch_s": stall_s,
+        "smoke": smoke,
+        "single": single,
+        "distributed": dist,
+        "mixes": mixes,
+        "chaos": chaos,
+        "acceptance": {
+            "speedup": speedup,
+            "speedup_min": gate,
+            "speedup_ok": bool(speedup >= gate),
+            "parity_ok": parity_ok,
+            "accounting_ok": accounting_ok,
+            "chaos_zero_lost": bool(chaos["invariant_ok"]),
+            "respawns_ok": bool(chaos["respawns"] >= 1),
+        },
+        "meta": {
+            "numpy": np.__version__,
+            "cpus": os.cpu_count() or 1,
+            "start_method": mp.get_start_method(),
+            "smoke": smoke,
+        },
+    }
+
+
+def format_results(results: Dict) -> str:
+    """Human-readable report of one :func:`run_serving_scale_bench` run."""
+    from ..utils import format_table
+
+    acc = results["acceptance"]
+    chaos = results["chaos"]
+    lines = [
+        f"serving scale bench — {results['benchmark']}, "
+        f"{results['n_replicas']} replicas, {results['n_requests']} requests, "
+        f"stall {results['stall_per_batch_s'] * 1e3:.0f} ms/batch",
+        "",
+        f"single:      {results['single']['throughput_rps']:>10.1f} req/s",
+        f"distributed: {results['distributed']['throughput_rps']:>10.1f} req/s "
+        f"(p99 {results['distributed']['latency']['p99_s'] * 1e3:.2f} ms)",
+        f"speedup: {acc['speedup']:.2f}x (gate >= {acc['speedup_min']}x) "
+        f"parity={'ok' if acc['parity_ok'] else 'FAIL'} "
+        f"accounting={'ok' if acc['accounting_ok'] else 'FAIL'}",
+        "",
+        "traffic mixes:",
+    ]
+    rows = [
+        [
+            m["mix"],
+            f"{m['offered_rps']:.0f}",
+            f"{m['throughput_rps']:.0f}",
+            f"{m['p50_s'] * 1e3:.2f}",
+            f"{m['p99_s'] * 1e3:.2f}",
+            f"{m['shed_rate']:.3f}",
+            m["timed_out"],
+            "ok" if m["invariant_ok"] and m["parity_ok"] else "FAIL",
+        ]
+        for m in results["mixes"]
+    ]
+    lines.append(format_table(
+        ["mix", "offered rps", "done rps", "p50 ms", "p99 ms", "shed rate", "timeout", "audit"],
+        rows,
+    ))
+    faults = ", ".join(f"{k}={v}" for k, v in sorted(chaos.get("fault_counts", {}).items()))
+    lines += [
+        "",
+        f"chaos: {chaos['n_requests']} requests, faults [{faults}] + 1 forced kill",
+        f"  completed={chaos['completed']} retries={chaos['retries']} "
+        f"retried_away={chaos['retried_away']} respawns={chaos['respawns']} "
+        f"breaker_opens={chaos['breaker_opens']}",
+        f"  invariant={'ok' if chaos['invariant_ok'] else 'FAIL'} "
+        f"parity={'ok' if chaos['parity_ok'] else 'FAIL'} "
+        f"({chaos['parity_checked']} responses audited) "
+        f"respawn_under_traffic={'ok' if acc['respawns_ok'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)

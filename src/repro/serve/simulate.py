@@ -73,6 +73,95 @@ def fit_service_time(model, input_shape: Sequence[int], batch_sizes=(1, 8, 32, 6
     return AffineServiceTime(base_s=base, per_sample_s=per_sample)
 
 
+#: The traffic shapes the scale bench replays (names are API).
+TRAFFIC_MIXES = ("poisson", "bursty", "diurnal")
+
+
+def _rate_modulated_arrivals(
+    rate_fn: Callable[[float], float], n: int, seed: int
+) -> np.ndarray:
+    """Arrival times of an inhomogeneous Poisson process.
+
+    Sequential gap sampling with the instantaneous rate at the current
+    time — exact for piecewise-constant rates, a good approximation for
+    slowly varying ones, and bit-reproducible per seed either way.
+    """
+    rng = np.random.default_rng(seed)
+    times = np.empty(n)
+    t = 0.0
+    for i in range(n):
+        lam = max(float(rate_fn(t)), 1e-9)
+        t += float(rng.exponential(1.0 / lam))
+        times[i] = t
+    return times
+
+
+def poisson_arrivals(rate: float, n: int, seed: int = 0) -> np.ndarray:
+    """Homogeneous Poisson arrivals: the steady-state mix."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return _rate_modulated_arrivals(lambda t: rate, n, seed)
+
+
+def bursty_arrivals(
+    rate: float,
+    n: int,
+    seed: int = 0,
+    burst_factor: float = 4.0,
+    on_fraction: float = 0.2,
+    period_s: float = 1.0,
+) -> np.ndarray:
+    """On/off burst traffic averaging ``rate``: short windows at
+    ``burst_factor`` times the mean, quiet troughs in between — the
+    mix that finds admission-control bugs (queues fill in the bursts).
+    """
+    if rate <= 0 or period_s <= 0:
+        raise ValueError("rate and period_s must be positive")
+    if not 0 < on_fraction < 1:
+        raise ValueError("on_fraction must be in (0, 1)")
+    if burst_factor < 1 or burst_factor * on_fraction >= 1:
+        raise ValueError("need 1 <= burst_factor and burst_factor * on_fraction < 1")
+    lull = rate * (1.0 - burst_factor * on_fraction) / (1.0 - on_fraction)
+
+    def lam(t: float) -> float:
+        return rate * burst_factor if (t % period_s) < on_fraction * period_s else lull
+
+    return _rate_modulated_arrivals(lam, n, seed)
+
+
+def diurnal_arrivals(
+    rate: float,
+    n: int,
+    seed: int = 0,
+    period_s: float = 10.0,
+    depth: float = 0.8,
+) -> np.ndarray:
+    """Sinusoidal day/night load averaging ``rate``: peak hours at
+    ``(1 + depth)`` times the mean, off-hours at ``(1 - depth)`` — the
+    mix autoscaling advice is judged against.
+    """
+    if rate <= 0 or period_s <= 0:
+        raise ValueError("rate and period_s must be positive")
+    if not 0 <= depth < 1:
+        raise ValueError("depth must be in [0, 1)")
+
+    def lam(t: float) -> float:
+        return rate * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s))
+
+    return _rate_modulated_arrivals(lam, n, seed)
+
+
+def traffic_arrivals(mix: str, rate: float, n: int, seed: int = 0) -> np.ndarray:
+    """Arrival times for one of :data:`TRAFFIC_MIXES` by name."""
+    if mix == "poisson":
+        return poisson_arrivals(rate, n, seed)
+    if mix == "bursty":
+        return bursty_arrivals(rate, n, seed)
+    if mix == "diurnal":
+        return diurnal_arrivals(rate, n, seed)
+    raise ValueError(f"unknown traffic mix {mix!r}; known: {TRAFFIC_MIXES}")
+
+
 def simulate_serving(
     policy: BatchPolicy,
     service_time: Callable[[int], float],

@@ -1,0 +1,208 @@
+"""Replica supervision: health probes, recycle-under-traffic, autoscaling.
+
+The pool layer already notices replicas that *die* (liveness reap) or
+*hang inside a batch* (task timeout).  What it cannot see is a replica
+that is alive, prompt, and **wrong** — wedged state after a partial
+failure, silently corrupting every response.  The
+:class:`ReplicaSupervisor` closes that gap with canary probes:
+
+* every ``probe_interval_s`` per replica, a canary batch is dispatched
+  through the same pipe real traffic uses (scheduling bugs included in
+  the probe);
+* the canary's output is checked **bit-identical** against the parent's
+  own ``Model.predict`` on the same batch — the serving tier's ground
+  truth; any mismatch means the replica is wedged and it is terminated
+  and respawned in place (its queue survives; the router's breaker for
+  the slot is reset because the replacement is a fresh process);
+* a canary that neither returns nor fails within ``probe_timeout_s``
+  marks the replica unresponsive-while-idle and recycles it the same
+  way.
+
+The supervisor also hosts the **autoscaling hook**: it watches the
+router's queue-depth gauge (the same ``serve.queue_depth`` signal the
+obs layer exports), and after ``autoscale_patience`` consecutive ticks
+above/below the watermarks calls ``on_autoscale`` with a scale-up /
+scale-down advice dict.  The hook is advisory — this repo's replica
+count is fixed at pool construction — but it is the integration point a
+real elastic deployment would wire to its resource manager.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..obs.context import get_recorder
+from ..parallel.pool import TaskResult
+from .router import Router
+
+
+class ReplicaSupervisor:
+    """Periodic liveness + correctness probing over a :class:`Router`.
+
+    Parameters
+    ----------
+    router:
+        The router whose replica groups are supervised.  The supervisor
+        attaches itself (``router.supervisor``) so canary results flow
+        back through the router's normal result pump.
+    canaries:
+        ``{model name -> canary batch}``.  The expected output is
+        computed here, once, with the parent's reference model —
+        ``group.model.predict`` on the exact canary batch.
+    probe_interval_s / probe_timeout_s:
+        Cadence of probes per replica, and how long an unanswered canary
+        may ride before the replica is recycled.
+    on_autoscale:
+        Optional callback receiving an advice dict whenever the queue
+        depth stays beyond a watermark for ``autoscale_patience`` ticks.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        canaries: Dict[str, np.ndarray],
+        probe_interval_s: float = 0.5,
+        probe_timeout_s: float = 2.0,
+        on_autoscale: Optional[Callable[[Dict], None]] = None,
+        queue_high: int = 64,
+        queue_low: int = 4,
+        autoscale_patience: int = 3,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if probe_interval_s <= 0 or probe_timeout_s <= 0:
+            raise ValueError("probe interval/timeout must be positive")
+        unknown = set(canaries) - set(router.groups)
+        if unknown:
+            raise KeyError(f"canaries for unrouted models: {sorted(unknown)}")
+        self.router = router
+        self.probe_interval_s = probe_interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.on_autoscale = on_autoscale
+        self.queue_high = queue_high
+        self.queue_low = queue_low
+        self.autoscale_patience = autoscale_patience
+        self.clock = clock or time.perf_counter
+        self._canary_x: Dict[str, np.ndarray] = {}
+        self._expected: Dict[str, np.ndarray] = {}
+        for model, x in canaries.items():
+            xb = np.asarray(x)
+            self._canary_x[model] = xb
+            # The ground truth a healthy replica must match bit-for-bit.
+            self._expected[model] = router.groups[model].model.predict(
+                xb, batch_size=max(len(xb), 1)
+            )
+        self._last_probe: Dict[Tuple[str, int], float] = {}
+        self._pending: Dict[Tuple[str, int], float] = {}  # (model, slot) -> sent at
+        self.probes = 0
+        self.probe_failures = 0
+        self.corrupt_detected = 0
+        self.recycled = 0
+        self._above = 0
+        self._below = 0
+        router.supervisor = self
+
+    # -- the supervision loop -------------------------------------------
+    def tick(self, now: Optional[float] = None) -> None:
+        """One supervision turn: overdue-canary recycles, due probes,
+        autoscale watermark bookkeeping.  Call it interleaved with
+        ``router.pump()`` — probing rides the same event loop as traffic.
+        """
+        now = self.clock() if now is None else now
+        for model in self._canary_x:
+            group = self.router.groups[model]
+            for slot in range(group.n_replicas):
+                key = (model, slot)
+                if key in self._pending:
+                    if now - self._pending[key] > self.probe_timeout_s:
+                        # Alive-but-unresponsive outside any batch the
+                        # pool could time out: recycle it ourselves.
+                        del self._pending[key]
+                        self.probe_failures += 1
+                        self._recycle(model, slot, "unresponsive", now)
+                    continue
+                if now - self._last_probe.get(key, -np.inf) >= self.probe_interval_s:
+                    self._last_probe[key] = now
+                    self._pending[key] = now
+                    self.probes += 1
+                    self.router.submit_canary(
+                        model, slot, self._canary_x[model], self._expected[model], now=now
+                    )
+        self._autoscale_tick(now)
+
+    def handle_canary(
+        self, model: str, slot: int, res: TaskResult, expected: np.ndarray, now: float
+    ) -> None:
+        """Router callback: one canary came back (ok, died, or hung)."""
+        self._pending.pop((model, slot), None)
+        if res.status != "ok":
+            # The pool already reaped and respawned the process; the slot
+            # is fresh, so clear its breaker and move on.
+            self.probe_failures += 1
+            self.recycled += 1
+            self.router.note_recycled(model, slot)
+            self._probe_event(model, slot, f"canary_{res.status}")
+            return
+        if not np.array_equal(res.value, expected):
+            # Bit-level divergence from Model.predict: the replica is
+            # wedged (corrupting state survives in-process) — recycle.
+            self.probe_failures += 1
+            self.corrupt_detected += 1
+            self._recycle(model, slot, "corrupt", now)
+
+    def _recycle(self, model: str, slot: int, reason: str, now: float) -> None:
+        group = self.router.groups[model]
+        if group.replica_alive(slot):
+            group.kill_replica(slot, reason=reason)
+        # The reap (on the router's next poll) respawns the slot with the
+        # initializer re-run from the shared weight segments; the breaker
+        # reset below treats the replacement as a clean slate.
+        self.recycled += 1
+        self.router.note_recycled(model, slot)
+        self._probe_event(model, slot, reason)
+
+    def _probe_event(self, model: str, slot: int, reason: str) -> None:
+        rec = get_recorder()
+        if rec is not None:
+            rec.event(
+                "replica_recycled", kind="serve.replica",
+                model=model, slot=slot, reason=reason,
+            )
+            rec.metrics.counter("serve.replica_recycles").inc()
+
+    # -- autoscaling hook ------------------------------------------------
+    def _autoscale_tick(self, now: float) -> None:
+        if self.on_autoscale is None:
+            return
+        depth = self.router.queue_depth
+        replicas = sum(g.n_replicas for g in self.router.groups.values())
+        if depth > self.queue_high:
+            self._above += 1
+            self._below = 0
+        elif depth < self.queue_low:
+            self._below += 1
+            self._above = 0
+        else:
+            self._above = self._below = 0
+        if self._above >= self.autoscale_patience:
+            self._above = 0
+            self.on_autoscale({
+                "action": "scale_up", "queue_depth": depth,
+                "replicas": replicas, "recommended": replicas + 1, "at": now,
+            })
+        elif self._below >= self.autoscale_patience and replicas > 1:
+            self._below = 0
+            self.on_autoscale({
+                "action": "scale_down", "queue_depth": depth,
+                "replicas": replicas, "recommended": replicas - 1, "at": now,
+            })
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "probes": self.probes,
+            "probe_failures": self.probe_failures,
+            "corrupt_detected": self.corrupt_detected,
+            "recycled": self.recycled,
+        }

@@ -61,6 +61,40 @@ def _exit_task(payload):
     return payload
 
 
+def _sleep_task(payload):
+    if payload == "hang":
+        time.sleep(3600)
+    return payload
+
+
+def _whoami_task(payload):
+    return os.getpid()
+
+
+# First-execution crash: a sentinel file (created by the initializer's
+# first run in each worker incarnation) marks whether this worker is the
+# original or a respawn.
+_DIE_ONCE_FLAG = {"armed": False}
+
+
+def _die_once_init(armed):
+    import tempfile
+    _DIE_ONCE_FLAG["armed"] = armed
+    _DIE_ONCE_FLAG["path"] = os.path.join(tempfile.gettempdir(),
+                                          f"repro_die_once_{os.getppid()}")
+
+
+def _die_once_task(payload):
+    if _DIE_ONCE_FLAG["armed"]:
+        path = _DIE_ONCE_FLAG["path"]
+        if not os.path.exists(path):
+            with open(path, "w") as fh:
+                fh.write("x")
+            os._exit(9)
+        os.unlink(path)
+    return payload
+
+
 def _sleep_objective(config, budget):
     time.sleep(0.01)
     return float((config["lr"] - 0.01) ** 2)
@@ -146,14 +180,99 @@ class TestProcessWorkerPool:
         assert res[0].value == 3 and res[2].value == 4
 
     def test_dead_worker_respawned_and_task_reported(self):
+        # Default policy retries a lost task once; the "die" payload is
+        # deterministic, so it kills its retry worker too and only then
+        # surfaces as "died" — two deaths, two respawns.
         with ProcessWorkerPool(_exit_task, 2) as pool:
             res = pool.map(["a", "die", "b", "c"], timeout=60.0)
             statuses = sorted(r.status for r in res)
             assert statuses == ["died", "ok", "ok", "ok"]
-            assert pool.respawns == 1
+            assert pool.respawns == 2
+            assert pool.tasks_lost == 2 and pool.tasks_retried == 1
             # Pool capacity survived: it can still run tasks afterwards.
             after = pool.map(["d", "e"], timeout=60.0)
             assert [r.value for r in after] == ["d", "e"]
+
+    def test_no_retry_surfaces_first_death(self):
+        with ProcessWorkerPool(_exit_task, 2, max_task_retries=0) as pool:
+            res = pool.map(["a", "die"], timeout=60.0)
+            assert sorted(r.status for r in res) == ["died", "ok"]
+            assert pool.respawns == 1
+            assert pool.tasks_lost == 1 and pool.tasks_retried == 0
+
+    def test_retry_recovers_nondeterministic_death(self):
+        # A payload that kills the worker only on its first execution:
+        # the retry succeeds, so the caller never sees the death.
+        with ProcessWorkerPool(_die_once_task, 1, initializer=_die_once_init,
+                               initargs=(True,)) as pool:
+            res = pool.map(["x"], timeout=60.0)
+        assert [r.status for r in res] == ["ok"]
+
+    def test_hung_worker_terminated_and_reported(self):
+        with TraceRecorder() as rec:
+            with ProcessWorkerPool(_sleep_task, 1, max_task_retries=0,
+                                   task_timeout_s=0.3) as pool:
+                res = pool.map(["hang", "b"], timeout=60.0)
+                assert [r.status for r in res] == ["hung", "ok"]
+                assert pool.respawns == 1 and pool.tasks_lost == 1
+            deaths = [e for e in rec.events(kind="parallel.worker")
+                      if e["name"] == "worker_death"]
+            assert deaths and deaths[0]["attrs"]["reason"] == "hung"
+            assert rec.metrics.counter("parallel.worker_respawns").value == 1
+
+    def test_dedicated_queue_slot_targeting(self):
+        with ProcessWorkerPool(_whoami_task, 3, dedicated_queues=True) as pool:
+            ids = [pool.submit(None, slot=i % 3) for i in range(9)]
+            pids = {}
+            for _ in ids:
+                r = pool.next_result(timeout=60.0)
+                pids.setdefault(r.task_id % 3, set()).add(r.value)
+            # Each slot's tasks all ran in one process; slots differ.
+            assert all(len(v) == 1 for v in pids.values())
+            assert len(set().union(*pids.values())) == 3
+
+    def test_dedicated_queue_round_robin_default(self):
+        with ProcessWorkerPool(_whoami_task, 2, dedicated_queues=True) as pool:
+            res = pool.map([None] * 6, timeout=60.0)
+        assert len({r.value for r in res}) == 2
+
+    def test_terminate_worker_respawns_same_slot(self):
+        with ProcessWorkerPool(_whoami_task, 2, dedicated_queues=True) as pool:
+            first = pool.map([None, None], timeout=60.0)
+            pool.terminate_worker(0)
+            second = pool.map([None, None], timeout=60.0)
+            assert all(r.status == "ok" for r in second)
+            assert pool.respawns == 1
+            # Slot 0's replacement is a different process.
+            pid0_before = [r.value for r in first if r.task_id % 2 == 0]
+            pid0_after = [r.value for r in second if r.task_id % 2 == 0]
+            assert pid0_before != pid0_after
+
+    def test_slot_targeting_requires_dedicated_queues(self):
+        with ProcessWorkerPool(echo_task, 2) as pool:
+            with pytest.raises(ValueError):
+                pool.submit(1, slot=0)
+        with ProcessWorkerPool(echo_task, 2, dedicated_queues=True) as pool:
+            with pytest.raises(ValueError):
+                pool.submit(1, slot=5)
+
+    def test_poll_result(self):
+        with ProcessWorkerPool(_square_task, 1) as pool:
+            assert pool.poll_result() is None  # nothing outstanding
+            pool.submit(3)
+            res = None
+            for _ in range(200):
+                res = pool.poll_result(timeout=0.05)
+                if res is not None:
+                    break
+            assert res is not None and res.value == 9
+            assert pool.outstanding == 0
+
+    def test_bad_retry_and_timeout_params(self):
+        with pytest.raises(ValueError):
+            ProcessWorkerPool(echo_task, 1, max_task_retries=-1)
+        with pytest.raises(ValueError):
+            ProcessWorkerPool(echo_task, 1, task_timeout_s=0.0)
 
     def test_spawn_mode_smoke(self):
         # Spawn children import fresh interpreters, so the task must be

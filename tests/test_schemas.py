@@ -1,8 +1,8 @@
 """Schema regression tests for every JSON artifact the repo commits.
 
 Guards against silent format drift: the committed ``BENCH_kernels.json``,
-``BENCH_serving.json``, ``BENCH_obs.json``, and ``BENCH_parallel.json``
-must match their declared
+``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_parallel.json``, and
+``BENCH_serving_scale.json`` must match their declared
 schemas in :mod:`repro.obs.schema`, a freshly recorded trace must pass
 the trace validator, and the validator itself must actually reject the
 malformed shapes it claims to catch (a validator that accepts everything
@@ -22,6 +22,7 @@ from repro.obs import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
+    BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     TRACE_SCHEMA_VERSION,
     SchemaError,
@@ -41,6 +42,7 @@ ARTIFACTS = [
     ("BENCH_serving.json", BENCH_SERVING_SCHEMA),
     ("BENCH_obs.json", BENCH_OBS_SCHEMA),
     ("BENCH_parallel.json", BENCH_PARALLEL_SCHEMA),
+    ("BENCH_serving_scale.json", BENCH_SERVING_SCALE_SCHEMA),
 ]
 
 
@@ -245,3 +247,83 @@ class TestParallelSchema:
         doc["hpo"]["workers"][0].pop("speedup")
         with pytest.raises(SchemaError, match=r"\$\.hpo\.workers\[0\]"):
             validate(doc, BENCH_PARALLEL_SCHEMA)
+
+
+def _minimal_serving_scale_doc():
+    """A smallest-possible BENCH_serving_scale.json (what a smoke run emits)."""
+    replay = {
+        "n_requests": 192, "elapsed_s": 0.07, "submitted": 192, "completed": 192,
+        "shed": 0, "timed_out": 0, "retried_away": 0, "retries": 0,
+        "respawns": 0, "invariant_ok": True, "parity_checked": 192, "parity_ok": True,
+    }
+    latency = {"count": 192, "mean_s": 0.02, "min_s": 0.01, "max_s": 0.06,
+               "p50_s": 0.02, "p95_s": 0.05, "p99_s": 0.06}
+    return {
+        "acceptance": {
+            "speedup": 1.8, "speedup_min": 1.5, "speedup_ok": True,
+            "parity_ok": True, "accounting_ok": True,
+            "chaos_zero_lost": True, "respawns_ok": True,
+        },
+        "single": {"requests": 192, "batches": 12, "elapsed_s": 0.12,
+                   "throughput_rps": 1500.0},
+        "distributed": {**replay, "throughput_rps": 2700.0, "latency": latency},
+        "mixes": [
+            {"mix": "poisson", "offered_rps": 2200.0, "n_requests": 96,
+             "completed": 96, "shed": 0, "shed_rate": 0.0, "timed_out": 0,
+             "retried_away": 0, "throughput_rps": 1500.0,
+             "p50_s": 0.016, "p99_s": 0.022, "invariant_ok": True, "parity_ok": True},
+        ],
+        "chaos": {
+            **dict(replay, n_requests=144, respawns=5, retries=14,
+                   parity_checked=144, submitted=144, completed=144),
+            "fault_counts": {"kill_replica": 3, "hang_replica": 1,
+                             "slow_replica": 3, "corrupt_response": 0},
+            "supervisor": {"probes": 20, "probe_failures": 4,
+                           "corrupt_detected": 0, "recycled": 4},
+            "autoscale_events": 1, "breaker_opens": 1,
+        },
+        "benchmark": "p1b2", "n_replicas": 3, "max_batch_size": 16,
+        "n_requests": 192, "stall_per_batch_s": 0.01, "smoke": True,
+        "meta": {"numpy": "1.26", "cpus": 1, "start_method": "fork", "smoke": True},
+    }
+
+
+class TestServingScaleSchema:
+    """BENCH_serving_scale.json pinned independently of the committed artifact."""
+
+    def test_minimal_doc_validates(self):
+        validate(_minimal_serving_scale_doc(), BENCH_SERVING_SCALE_SCHEMA)
+
+    def test_rejects_missing_chaos_gate(self):
+        doc = _minimal_serving_scale_doc()
+        del doc["acceptance"]["chaos_zero_lost"]
+        with pytest.raises(SchemaError, match="chaos_zero_lost"):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+
+    def test_rejects_unknown_traffic_mix(self):
+        doc = _minimal_serving_scale_doc()
+        doc["mixes"][0]["mix"] = "flash_crowd"
+        with pytest.raises(SchemaError, match=r"\$\.mixes\[0\]\.mix"):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+
+    def test_rejects_negative_respawns_and_bool_counts(self):
+        doc = _minimal_serving_scale_doc()
+        doc["chaos"]["respawns"] = -1
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+        doc = _minimal_serving_scale_doc()
+        doc["chaos"]["fault_counts"]["kill_replica"] = True
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+
+    def test_rejects_dropped_invariant_verdict(self):
+        doc = _minimal_serving_scale_doc()
+        del doc["distributed"]["invariant_ok"]
+        with pytest.raises(SchemaError, match="invariant_ok"):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+
+    def test_rejects_unknown_top_level_section(self):
+        doc = _minimal_serving_scale_doc()
+        doc["replicas_v2"] = {}
+        with pytest.raises(SchemaError, match="replicas_v2"):
+            validate(doc, BENCH_SERVING_SCALE_SCHEMA)

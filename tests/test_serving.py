@@ -270,6 +270,42 @@ class TestModelRegistry:
         with pytest.raises(ValueError):
             publish_model(p1b2_model, tmp_path / "x.npz", "not_a_benchmark", (3,))
 
+    def test_checksum_recorded_at_publish(self, tmp_path):
+        from repro.serve.registry import weights_checksum
+
+        model, path, _ = self._publish(tmp_path)
+        meta = read_checkpoint_meta(path, verify=False)
+        assert meta["checksum"] == weights_checksum(model.get_weights())
+
+    def test_truncated_checkpoint_refused(self, tmp_path):
+        from repro.serve import CheckpointIntegrityError
+
+        _, path, _ = self._publish(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointIntegrityError):
+            read_checkpoint_meta(path)
+        registry = ModelRegistry(warmup=False)
+        registry.register("m", path)
+        with pytest.raises(CheckpointIntegrityError):
+            registry.get("m")
+
+    def test_corrupt_weights_refused(self, tmp_path):
+        from repro.serve import CheckpointIntegrityError
+
+        _, path, _ = self._publish(tmp_path)
+        with np.load(path) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        key = next(k for k in sorted(arrays) if k.startswith("param_") and arrays[k].size)
+        arrays[key] = arrays[key] + 1.0  # single-array bit rot, zip still valid
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointIntegrityError, match="checksum mismatch"):
+            read_checkpoint_meta(path)
+        registry = ModelRegistry(warmup=False)
+        registry.register("m", path)
+        with pytest.raises(CheckpointIntegrityError, match="checksum mismatch"):
+            registry.get("m")
+
 
 class TestSimulatedServing:
     POLICY = BatchPolicy(max_batch_size=16, max_wait_s=0.002, max_queue=64, timeout_s=0.5)
