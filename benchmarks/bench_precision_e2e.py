@@ -1,0 +1,380 @@
+"""E2E reduced-precision benchmark: measured wall-clock, not emulation.
+
+The emulated E1 ablation (``bench_e1_precision.py``) answers the
+*accuracy* half of claim C7 — reduced precision barely moves the
+headline metric — but every format runs on the same float64 datapath, so
+it can say nothing about *time*.  This runner closes that gap on the
+p1b2 benchmark:
+
+* **Training**: one measured train-step time per storage format —
+  ``fp64`` (native :meth:`Model.fit`), ``fp32``/``bf16``/``fp16`` (the
+  real narrow datapath via ``fit(precision=...)``), and
+  ``fp32_emulated`` (the pre-existing ``PrecisionPolicy("fp32")``
+  float64-datapath reference).  Loss trajectories are checked against
+  the fp64 run per format so the speedups are parity-audited, not free.
+* **Serving**: a fp32-trained p1b2 classifier is int8-quantized
+  (:meth:`Model.quantize_int8`) and served through the micro-batching
+  :class:`~repro.serve.InferenceServer`; throughput is scored against
+  the fp32 *single-stream* baseline (one request at a time — the
+  deployment pattern batching + quantization replaces), with AUC
+  measured per datapath and a bit-identical check between served int8
+  outputs and direct ``predict(precision="int8")``.
+
+Output (``BENCH_precision.json``) validates against
+:data:`repro.obs.schema.BENCH_PRECISION_SCHEMA`.  Acceptance gates, CI
+enforced in full mode only (smoke shapes are too small for ratios to
+mean anything — there the parity checks are the gate):
+
+* int8 batched serving >= 2.0x fp32 single-stream throughput,
+* int8 AUC within 1% of fp32 AUC,
+* bf16 train step >= 1.3x the emulated-fp32 reference step.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.candle import get_benchmark  # noqa: E402
+from repro.nn import train_val_split  # noqa: E402
+from repro.nn.metrics import roc_auc  # noqa: E402
+from repro.precision import PrecisionPolicy, train_with_policy  # noqa: E402
+from repro.serve import BatchPolicy, InferenceServer  # noqa: E402
+
+# Gates (full mode).
+BF16_TRAIN_SPEEDUP_MIN = 1.3  # vs the emulated-fp32 reference step
+INT8_SERVING_SPEEDUP_MIN = 2.0  # batched int8 vs fp32 single-stream
+INT8_AUC_DROP_MAX = 0.01
+
+# Per-format loss-trajectory tolerance vs the fp64 run, as a fraction
+# of the *initial* fp64 loss (the problem's loss scale — the per-epoch
+# loss itself decays toward zero, so a pointwise relative bound would
+# amplify noise in the converged tail).  The emulated path shares the
+# fp64 datapath (only the weights are rounded), so it tracks to ~1e-6.
+# The real narrow datapaths round every kernel output and diverge
+# chaotically after a few hundred Adam steps — the audit catches gross
+# failures (NaN, stalled, wrong loss), so they get a 10% bound.
+LOSS_PARITY_RTOL = {"fp32_emulated": 1e-6, "fp32": 1e-1, "bf16": 1e-1, "fp16": 1e-1}
+
+TRAIN_FORMATS = ("fp64", "fp32_emulated", "fp32", "bf16", "fp16")
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def _mean_ovr_auc(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean one-vs-rest AUC over the classes present in ``labels``."""
+    probs = _softmax(np.asarray(logits, dtype=np.float64))
+    aucs = [
+        roc_auc(probs[:, c], labels == c)
+        for c in range(probs.shape[1])
+        if 0 < int((labels == c).sum()) < len(labels)
+    ]
+    return float(np.mean(aucs))
+
+
+def _fit_losses(bm, x, y, fmt, epochs, batch_size):
+    """One training run of ``fmt``; returns (elapsed_s, losses, amp_stats)."""
+    model = bm.build_model()
+    if fmt == "fp32_emulated":
+        t0 = time.perf_counter()
+        losses = train_with_policy(
+            model, x, y, PrecisionPolicy("fp32"),
+            epochs=epochs, batch_size=batch_size, loss=bm.loss, lr=1e-3, seed=0,
+        )
+        return time.perf_counter() - t0, losses, None
+    precision = None if fmt == "fp64" else fmt
+    t0 = time.perf_counter()
+    hist = model.fit(
+        x, y, epochs=epochs, batch_size=batch_size,
+        loss=bm.loss, lr=1e-3, seed=0, precision=precision,
+    )
+    return time.perf_counter() - t0, hist.series("loss"), getattr(hist, "precision", None)
+
+
+def bench_train(bm, x, y, epochs, batch_size, reps):
+    steps = epochs * ((len(x) + batch_size - 1) // batch_size)
+    rows = []
+    ref_losses = None
+    by_format = {}
+    for fmt in TRAIN_FORMATS:
+        times = []
+        losses = stats = None
+        for _ in range(reps):
+            elapsed, losses, stats = _fit_losses(bm, x, y, fmt, epochs, batch_size)
+            times.append(elapsed)
+        if fmt == "fp64":
+            ref_losses = np.asarray(losses, dtype=np.float64)
+        dev = float(
+            np.max(np.abs(np.asarray(losses) - ref_losses)) / max(abs(ref_losses[0]), 1e-9)
+        )
+        row = {
+            "format": fmt,
+            "step_ms": statistics.median(times) / steps * 1e3,
+            "speedup_vs_fp64": 0.0,  # filled below
+            "final_loss": float(losses[-1]),
+            "loss_dev_vs_fp64": dev,
+        }
+        if stats is not None:
+            row["skipped_steps"] = int(stats["skipped_steps"])
+            if stats.get("final_loss_scale") is not None:
+                row["final_loss_scale"] = float(stats["final_loss_scale"])
+        rows.append(row)
+        by_format[fmt] = row
+    for row in rows:
+        row["speedup_vs_fp64"] = by_format["fp64"]["step_ms"] / max(row["step_ms"], 1e-12)
+    return {
+        "n_samples": int(len(x)),
+        "n_features": int(x.shape[1]),
+        "batch_size": int(batch_size),
+        "epochs": int(epochs),
+        "rows": rows,
+        "bf16_vs_emulated_fp32_speedup": by_format["fp32_emulated"]["step_ms"]
+        / max(by_format["bf16"]["step_ms"], 1e-12),
+        "bf16_vs_fp32_speedup": by_format["fp32"]["step_ms"]
+        / max(by_format["bf16"]["step_ms"], 1e-12),
+        "bf16_vs_fp64_speedup": by_format["fp64"]["step_ms"]
+        / max(by_format["bf16"]["step_ms"], 1e-12),
+    }
+
+
+def _throughput(fn, n_requests, reps):
+    """Median requests/s of ``fn`` (which serves ``n_requests``)."""
+    rates = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        rates.append(n_requests / (time.perf_counter() - t0))
+    return statistics.median(rates)
+
+
+def bench_serving(bm, x_tr, y_tr, x_te, y_te, epochs, batch_size, reps):
+    # The deployed model: fp32 weights (half the checkpoint bytes), then
+    # int8-quantized on the training data as calibration set.
+    model64 = bm.build_model()
+    model64.fit(x_tr, y_tr, epochs=epochs, batch_size=batch_size, loss=bm.loss, lr=1e-3, seed=0)
+    model = bm.build_model()
+    model.fit(
+        x_tr, y_tr, epochs=epochs, batch_size=batch_size,
+        loss=bm.loss, lr=1e-3, seed=0, precision="fp32",
+    )
+    plan = model.quantize_int8(x_tr)
+
+    x_eval = np.asarray(x_te, dtype=np.float32)
+    auc = {
+        "fp64": _mean_ovr_auc(model64.predict(x_te), y_te),
+        "fp32": _mean_ovr_auc(model.predict(x_eval, precision="fp32"), y_te),
+        "int8": _mean_ovr_auc(model.predict(x_eval, precision="int8"), y_te),
+    }
+
+    n = len(x_eval)
+
+    def single_stream(precision):
+        def run():
+            for i in range(n):
+                model.predict(x_eval[i : i + 1], precision=precision)
+        return run
+
+    def batched(precision):
+        server = InferenceServer(
+            model,
+            BatchPolicy(max_batch_size=64, max_wait_s=0.0, max_queue=max(2 * n, 64)),
+            precision=precision,
+        )
+
+        def run():
+            for i in range(n):
+                server.submit(x_eval[i])
+            server.drain()
+        return run
+
+    fp32_single = _throughput(single_stream("fp32"), n, reps)
+    int8_single = _throughput(single_stream("int8"), n, reps)
+    fp32_batched = _throughput(batched("fp32"), n, reps)
+    int8_batched = _throughput(batched("int8"), n, reps)
+
+    # Bit-identical check: every served int8 result must equal the
+    # direct predict row for the same sample.
+    server = InferenceServer(
+        model,
+        BatchPolicy(max_batch_size=64, max_wait_s=0.0, max_queue=max(2 * n, 64)),
+        precision="int8",
+    )
+    requests = [server.submit(x_eval[i]) for i in range(n)]
+    server.drain()
+    direct = model.predict(x_eval, precision="int8")
+    bit_identical = all(
+        req.status == "completed" and np.array_equal(req.result, direct[i])
+        for i, req in enumerate(requests)
+    )
+
+    return {
+        "n_eval": int(n),
+        "auc": auc,
+        "auc_drop_int8_vs_fp32": auc["fp32"] - auc["int8"],
+        "fp32_single_stream_rps": fp32_single,
+        "fp32_batched_rps": fp32_batched,
+        "int8_single_stream_rps": int8_single,
+        "int8_batched_rps": int8_batched,
+        "served_bit_identical": bool(bit_identical),
+        "weight_bytes": {
+            "fp64": int(sum(p.data.nbytes for p in model64.parameters())),
+            "fp32": int(sum(p.data.nbytes for p in model.parameters())),
+            "int8": int(plan.weight_bytes()),
+        },
+    }
+
+
+def run_suite(smoke: bool = False, reps: int = None):
+    reps = reps if reps is not None else (1 if smoke else 3)
+    bm = get_benchmark("p1b2")
+    x, y = bm.make_data(seed=0)
+    if smoke:
+        x, y = x[:200], y[:200]
+    x_tr, y_tr, x_te, y_te = train_val_split(x, y, val_frac=0.2, rng=np.random.default_rng(0))
+    epochs = 2 if smoke else 3
+    batch_size = 32
+
+    train = bench_train(bm, x_tr, y_tr, epochs, batch_size, reps)
+    serving = bench_serving(bm, x_tr, y_tr, x_te, y_te, epochs, batch_size, reps)
+
+    parity_ok = all(
+        row["loss_dev_vs_fp64"] <= LOSS_PARITY_RTOL[row["format"]]
+        for row in train["rows"]
+        if row["format"] in LOSS_PARITY_RTOL
+    )
+    bf16_speedup = train["bf16_vs_emulated_fp32_speedup"]
+    int8_speedup = serving["int8_batched_rps"] / max(serving["fp32_single_stream_rps"], 1e-12)
+    auc_drop = serving["auc_drop_int8_vs_fp32"]
+    return {
+        "meta": {
+            "numpy": np.__version__,
+            "smoke": bool(smoke),
+            "reps": int(reps),
+            "benchmark": "p1b2",
+        },
+        "train": train,
+        "serving": serving,
+        "acceptance": {
+            "bf16_train_speedup": bf16_speedup,
+            "bf16_train_speedup_min": BF16_TRAIN_SPEEDUP_MIN,
+            "bf16_train_ok": bool(bf16_speedup >= BF16_TRAIN_SPEEDUP_MIN),
+            "int8_serving_speedup": int8_speedup,
+            "int8_serving_speedup_min": INT8_SERVING_SPEEDUP_MIN,
+            "int8_serving_ok": bool(int8_speedup >= INT8_SERVING_SPEEDUP_MIN),
+            "int8_auc_drop": auc_drop,
+            "int8_auc_drop_max": INT8_AUC_DROP_MAX,
+            "int8_auc_ok": bool(auc_drop <= INT8_AUC_DROP_MAX),
+            "train_parity_ok": bool(parity_ok),
+            "served_bit_identical": serving["served_bit_identical"],
+            "gates_enforced": not smoke,
+        },
+    }
+
+
+def format_results(r) -> str:
+    lines = [
+        f"numpy {r['meta']['numpy']}  smoke={r['meta']['smoke']}  reps={r['meta']['reps']}"
+        f"  benchmark={r['meta']['benchmark']}",
+        f"-- train (N{r['train']['n_samples']} d{r['train']['n_features']}"
+        f" bs{r['train']['batch_size']} x{r['train']['epochs']} epochs)",
+    ]
+    for row in r["train"]["rows"]:
+        extra = ""
+        if "skipped_steps" in row:
+            extra = f"  skipped={row['skipped_steps']}"
+        lines.append(
+            f"   {row['format']:<14} step {row['step_ms']:8.3f} ms"
+            f"  x{row['speedup_vs_fp64']:.2f} vs fp64"
+            f"  loss_dev {row['loss_dev_vs_fp64']:.2e}{extra}"
+        )
+    s = r["serving"]
+    lines += [
+        f"   bf16 vs emulated-fp32 x{r['train']['bf16_vs_emulated_fp32_speedup']:.2f}"
+        f"  vs real-fp32 x{r['train']['bf16_vs_fp32_speedup']:.2f}"
+        f"  vs fp64 x{r['train']['bf16_vs_fp64_speedup']:.2f}",
+        f"-- serving (n_eval={s['n_eval']})",
+        f"   auc fp64 {s['auc']['fp64']:.4f}  fp32 {s['auc']['fp32']:.4f}"
+        f"  int8 {s['auc']['int8']:.4f}  (drop {s['auc_drop_int8_vs_fp32']:+.4f})",
+        f"   fp32 single-stream {s['fp32_single_stream_rps']:9.1f} req/s"
+        f"   batched {s['fp32_batched_rps']:9.1f} req/s",
+        f"   int8 single-stream {s['int8_single_stream_rps']:9.1f} req/s"
+        f"   batched {s['int8_batched_rps']:9.1f} req/s",
+        f"   served int8 bit-identical to predict: {s['served_bit_identical']}",
+        f"   weight bytes: fp64 {s['weight_bytes']['fp64']}  fp32 {s['weight_bytes']['fp32']}"
+        f"  int8 {s['weight_bytes']['int8']}",
+    ]
+    a = r["acceptance"]
+    lines.append(
+        f"-- acceptance: bf16 train x{a['bf16_train_speedup']:.2f}"
+        f" (min {a['bf16_train_speedup_min']}, ok={a['bf16_train_ok']}),"
+        f" int8 serving x{a['int8_serving_speedup']:.2f}"
+        f" (min {a['int8_serving_speedup_min']}, ok={a['int8_serving_ok']}),"
+        f" auc drop {a['int8_auc_drop']:+.4f} (max {a['int8_auc_drop_max']},"
+        f" ok={a['int8_auc_ok']}), parity_ok={a['train_parity_ok']},"
+        f" bit_identical={a['served_bit_identical']},"
+        f" gates_enforced={a['gates_enforced']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small subset + 1 rep (CI): parity gates only, no speedup gates",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_precision.json",
+        help="output JSON path (default: repo-root BENCH_precision.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(smoke=args.smoke, reps=args.reps)
+    print(format_results(results))
+    args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    a = results["acceptance"]
+    failures = []
+    # Parity is the gate in every mode: wrong numbers fail even at smoke
+    # shapes, where timing ratios are noise.
+    if not a["train_parity_ok"]:
+        failures.append("loss trajectories diverge from fp64 beyond tolerance")
+    if not a["served_bit_identical"]:
+        failures.append("served int8 outputs differ from Model.predict(precision='int8')")
+    if not a["int8_auc_ok"]:
+        failures.append(
+            f"int8 AUC drop {a['int8_auc_drop']:.4f} exceeds {a['int8_auc_drop_max']}"
+        )
+    if a["gates_enforced"]:
+        if not a["bf16_train_ok"]:
+            failures.append(
+                f"bf16 train speedup {a['bf16_train_speedup']:.2f}x"
+                f" < {a['bf16_train_speedup_min']}x vs emulated fp32"
+            )
+        if not a["int8_serving_ok"]:
+            failures.append(
+                f"int8 serving speedup {a['int8_serving_speedup']:.2f}x"
+                f" < {a['int8_serving_speedup_min']}x vs fp32 single-stream"
+            )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

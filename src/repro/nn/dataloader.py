@@ -30,6 +30,13 @@ class DataLoader:
         exclusive with ``seed``.
     seed:
         Convenience for ``rng=np.random.default_rng(seed)``.
+    dtype:
+        Optional cast applied **once at construction** to ``x`` (and to a
+        float ``y``; integer labels pass through).  Batches then slice
+        the pre-cast arrays, so a reduced-precision fit pays zero
+        per-batch cast cost and no batch ever round-trips through
+        float64.  Without ``dtype`` the loader is dtype-transparent:
+        slicing and fancy indexing both preserve the input dtype.
 
     Reproducibility contract: when neither ``rng`` nor ``seed`` is
     given, each loader gets its own fresh ``default_rng(0)`` — so two
@@ -48,9 +55,16 @@ class DataLoader:
         drop_last: bool = False,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        dtype=None,
     ) -> None:
         self.x = np.asarray(x)
         self.y = None if y is None else np.asarray(y)
+        if dtype is not None:
+            dtype = np.dtype(dtype)
+            if self.x.dtype != dtype:
+                self.x = self.x.astype(dtype)
+            if self.y is not None and self.y.dtype.kind == "f" and self.y.dtype != dtype:
+                self.y = self.y.astype(dtype)
         if self.y is not None and len(self.x) != len(self.y):
             raise ValueError(f"x and y length mismatch: {len(self.x)} vs {len(self.y)}")
         if batch_size <= 0:

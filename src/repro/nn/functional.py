@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import amp as _amp
 from .tensor import Tensor, unbroadcast
 
 
@@ -165,7 +166,11 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
 def gelu(x: Tensor) -> Tensor:
     """Tanh approximation of GELU (Hendrycks & Gimpel)."""
     xd = x.data
-    c = np.sqrt(2.0 / np.pi)
+    # Python float, not np.sqrt's float64 scalar: NumPy 2 treats np.float64
+    # scalars as strong types, so the latter silently upcasts float32
+    # activations to float64 for the whole op (round-tripped back only at
+    # the final astype).
+    c = float(np.sqrt(2.0 / np.pi))
     inner = c * (xd + 0.044715 * xd ** 3)
     t = np.tanh(inner)
     data = 0.5 * xd * (1.0 + t)
@@ -306,6 +311,9 @@ def linear_act(
         if activation == "tanh":
             return tanh(out)
         return out
+    ac = _amp.active()
+    if ac is not None:
+        return _linear_act_amp(x, weight, bias, act, ac)
 
     xd, wd = x.data, weight.data
     out = xd @ wd  # (N, units)
@@ -331,6 +339,38 @@ def linear_act(
     return Tensor(out, requires_grad=req, parents=parents, backward_fn=backward)
 
 
+def _linear_act_amp(x: Tensor, weight: Tensor, bias, act, ac) -> Tensor:
+    """Narrow-storage ``linear_act``: inputs and weights are snapped to the
+    active plan's storage grid, the GEMM accumulates in fp32, and the
+    output is stored narrow.  Backward mirrors real mixed-precision
+    hardware: activation gradients return narrow, weight/bias gradients
+    return fp32 (master precision) for the optimizer.
+    """
+    xd = ac.cast_in(x.data)  # narrow-grid values, fp32 compute layout
+    wd = ac.cast_in(weight.data)
+    out = xd @ wd  # fp32 accumulate
+    if bias is not None:
+        out += ac.to_compute(bias.data)
+    if act is not None:
+        act[0](out)
+    out = ac.snap_out(out)  # narrow storage (in place for bf16)
+
+    def backward(g: np.ndarray):
+        g = ac.to_compute(g)
+        if act is not None:
+            g = act[1](ac.to_compute(out), g)
+        grad_x = ac.snap_out(g @ wd.T)
+        grad_w = xd.T @ g  # fp32 — applied to fp32 master weights
+        if bias is None:
+            return (grad_x, grad_w, None)
+        grad_b = g.sum(axis=0) if bias.data.ndim == 1 else unbroadcast(g, bias.shape)
+        return (grad_x, grad_w, grad_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    req = any(p.requires_grad for p in parents)
+    return Tensor(out, requires_grad=req, parents=parents, backward_fn=backward)
+
+
 def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Fused softmax + cross-entropy as one tape node with the stable
     ``(p - y) / n`` backward.
@@ -342,6 +382,12 @@ def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """
     labels = np.asarray(labels)
     zd = logits.data
+    ac = _amp.active()
+    if ac is not None and zd.dtype != np.float32:
+        # Loss math runs in fp32 under autocast (softmax of fp16 logits
+        # both underflows and crawls); the (p - y)/n gradient returns fp32
+        # and the upstream fused kernels re-narrow it on entry.
+        zd = zd.astype(np.float32)
     if zd.ndim != 2:
         raise ValueError(f"softmax_cross_entropy expects (N, C) logits, got {zd.shape}")
     n = zd.shape[0]
@@ -464,7 +510,10 @@ def conv1d(
     Returns (N, C_out, L_out) with L_out = (L + 2*padding - K)//stride + 1.
     """
     act = _fused_act(activation)
-    xd_pad = _pad_nd(x.data, padding, 1)
+    ac = _amp.active()
+    xd_src = x.data if ac is None else ac.cast_in(x.data)
+    wd_src = weight.data if ac is None else ac.cast_in(weight.data)
+    xd_pad = _pad_nd(xd_src, padding, 1)
     n, c_in, length = xd_pad.shape
     c_out, c_in_w, k = weight.shape
     if c_in != c_in_w:
@@ -474,19 +523,23 @@ def conv1d(
         raise ValueError(f"conv1d output length {l_out} <= 0 (L={length}, K={k})")
 
     cols = _im2col_1d(xd_pad, k, stride)  # (C_in*K, N*L_out), cached for backward
-    w2 = weight.data.reshape(c_out, c_in * k)
-    out2d = w2 @ cols  # (C_out, N*L_out) — one GEMM
+    w2 = wd_src.reshape(c_out, c_in * k)
+    out2d = w2 @ cols  # (C_out, N*L_out) — one GEMM (fp32 accumulate under amp)
     if bias is not None:
-        out2d += bias.data[:, None]
+        out2d += bias.data[:, None] if ac is None else ac.to_compute(bias.data)[:, None]
     if act is not None:
         act[0](out2d)
+    if ac is not None:
+        out2d = ac.snap_out(out2d)  # narrow storage
     out = out2d.reshape(c_out, n, l_out).transpose(1, 0, 2)  # view
 
     x_shape = x.shape
 
     def backward(g: np.ndarray):
+        if ac is not None:
+            g = ac.to_compute(g)
         if act is not None:
-            g = act[1](out, g)
+            g = act[1](out if ac is None else ac.to_compute(out), g)
         g2d = g.transpose(1, 0, 2).reshape(c_out, n * l_out)  # copy once
         grad_w = (g2d @ cols.T).reshape(c_out, c_in, k)
         grad_cols = (w2.T @ g2d).reshape(c_in, k, n, l_out)
@@ -498,6 +551,8 @@ def conv1d(
             grad_x_pad[:, :, kk : kk + span : stride] += grad_cols[:, kk].transpose(1, 0, 2)
         grad_x = grad_x_pad[:, :, padding : length - padding] if padding > 0 else grad_x_pad
         grad_b = g.sum(axis=(0, 2)) if bias is not None else None
+        if ac is not None:
+            grad_x = ac.snap(grad_x)  # activation grads narrow; w/b stay fp32
         return (grad_x.reshape(x_shape), grad_w, grad_b)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
@@ -698,7 +753,10 @@ def conv2d(
     Returns (N, C_out, H_out, W_out).
     """
     act = _fused_act(activation)
-    xd_pad = _pad_nd(x.data, padding, 2)
+    ac = _amp.active()
+    xd_src = x.data if ac is None else ac.cast_in(x.data)
+    wd_src = weight.data if ac is None else ac.cast_in(weight.data)
+    xd_pad = _pad_nd(xd_src, padding, 2)
     n, c_in, h, w = xd_pad.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
@@ -709,19 +767,23 @@ def conv2d(
         raise ValueError(f"conv2d output {h_out}x{w_out} <= 0 (input {h}x{w}, kernel {kh}x{kw})")
 
     cols = _im2col_2d(xd_pad, kh, kw, stride)  # (C*kh*kw, N*Ho*Wo), cached for backward
-    w2 = weight.data.reshape(c_out, c_in * kh * kw)
-    out2d = w2 @ cols  # (C_out, N*Ho*Wo) — one GEMM
+    w2 = wd_src.reshape(c_out, c_in * kh * kw)
+    out2d = w2 @ cols  # (C_out, N*Ho*Wo) — one GEMM (fp32 accumulate under amp)
     if bias is not None:
-        out2d += bias.data[:, None]
+        out2d += bias.data[:, None] if ac is None else ac.to_compute(bias.data)[:, None]
     if act is not None:
         act[0](out2d)
+    if ac is not None:
+        out2d = ac.snap_out(out2d)  # narrow storage
     out = out2d.reshape(c_out, n, h_out, w_out).transpose(1, 0, 2, 3)  # view
 
     x_shape = x.shape
 
     def backward(g: np.ndarray):
+        if ac is not None:
+            g = ac.to_compute(g)
         if act is not None:
-            g = act[1](out, g)
+            g = act[1](out if ac is None else ac.to_compute(out), g)
         g2d = g.transpose(1, 0, 2, 3).reshape(c_out, n * h_out * w_out)  # copy once
         grad_w = (g2d @ cols.T).reshape(c_out, c_in, kh, kw)
         grad_cols = (w2.T @ g2d).reshape(c_in, kh, kw, n, h_out, w_out)
@@ -740,6 +802,8 @@ def conv2d(
         else:
             grad_x = grad_x_pad
         grad_b = g.sum(axis=(0, 2, 3)) if bias is not None else None
+        if ac is not None:
+            grad_x = ac.snap(grad_x)  # activation grads narrow; w/b stay fp32
         return (grad_x.reshape(x_shape), grad_w, grad_b)
 
     parents = (x, weight) if bias is None else (x, weight, bias)

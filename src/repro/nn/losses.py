@@ -127,7 +127,9 @@ def focal_loss_with_logits(logits: Tensor, labels: np.ndarray, gamma: float = 2.
     y = Tensor(labels)
     p = F.sigmoid(logits)
     p_t = p * y + (1.0 - p) * (1.0 - y)
-    alpha_t = Tensor(np.where(labels > 0.5, alpha, 1.0 - alpha))
+    # np.where with Python-float branches yields float64; pin the input
+    # dtype so a float32 pipeline stays float32 end to end.
+    alpha_t = Tensor(np.where(labels > 0.5, alpha, 1.0 - alpha).astype(labels.dtype))
     # Stable log(p_t) via the BCE identity: log p_t = -bce(logits, y) per-elem.
     bce_elem = F.relu(logits) - logits * y + F.softplus(-F.abs(logits))
     modulator = (1.0 - p_t) ** gamma

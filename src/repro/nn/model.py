@@ -53,6 +53,7 @@ class Model:
     def __init__(self) -> None:
         self.layers: List[Layer] = []
         self.built = False
+        self._int8_plan = None
 
     # -- construction ---------------------------------------------------
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
@@ -122,12 +123,79 @@ class Model:
                 return self.forward(Tensor(np.asarray(x)), training=False).data
         return np.zeros((0,) + shape)
 
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def astype(self, dtype) -> "Model":
+        """Cast all parameters (and layer buffers) to ``dtype`` in place.
+
+        The deployment cast: train in fp64/fp32, then ``astype(np.float32)``
+        before publishing.  Drops gradients and any attached int8 plan
+        (quantization scales are computed from specific weight values).
+        """
+        dtype = np.dtype(dtype)
+        for p in self.parameters():
+            p.data = p.data.astype(dtype)
+            p.grad = None
+        for layer in self.layers:
+            if getattr(layer, "dtype", None) is not None:
+                layer.dtype = dtype
+            for attr in ("running_mean", "running_var"):
+                buf = getattr(layer, attr, None)
+                if isinstance(buf, np.ndarray):
+                    setattr(layer, attr, buf.astype(dtype))
+        self._int8_plan = None
+        return self
+
+    def quantize_int8(
+        self, x_calib: np.ndarray, method: str = "percentile", percentile: float = 99.9
+    ):
+        """Calibrate an int8 inference plan from sample inputs.
+
+        Attaches the plan (used by ``predict(precision="int8")`` and the
+        serving tier) and returns it.  Requires a Dense/activation
+        topology — see :class:`repro.precision.int8.Int8Plan`.
+        """
+        from ..precision.int8 import quantize_model  # lazy: precision imports nn
+
+        self._int8_plan = quantize_model(self, x_calib, method=method, percentile=percentile)
+        return self._int8_plan
+
+    def predict(
+        self, x: np.ndarray, batch_size: int = 256, precision: Optional[str] = None
+    ) -> np.ndarray:
         """Batched, grad-free forward pass.
 
-        A zero-length input returns a correctly-shaped empty array (the
-        serving layer drains queues that may be empty).
+        ``precision`` selects the inference datapath: ``None``/"fp64" runs
+        in the weights' native dtype; ``"fp32"`` requires float32 weights
+        (cast once via :meth:`astype`) and float32-casts the input;
+        ``"int8"`` runs the calibrated quantized plan from
+        :meth:`quantize_int8`.  A zero-length input returns a
+        correctly-shaped empty array (the serving layer drains queues
+        that may be empty).
         """
+        if precision == "int8":
+            plan = getattr(self, "_int8_plan", None)
+            if plan is None:
+                raise RuntimeError(
+                    "predict(precision='int8') needs a calibrated plan; "
+                    "call model.quantize_int8(x_calib) first"
+                )
+            if len(x) == 0:
+                return self._empty_output(x).astype(np.float32)
+            return plan.predict(np.asarray(x), batch_size=batch_size)
+        if precision == "fp32":
+            p0 = next(iter(self.parameters()), None)
+            if p0 is not None and p0.data.dtype != np.float32:
+                raise ValueError(
+                    "predict(precision='fp32') requires float32 weights; cast once "
+                    "with model.astype(np.float32) (fit(precision=...) already "
+                    "leaves fp32 master weights)"
+                )
+            x = np.asarray(x)
+            if x.dtype != np.float32:
+                x = x.astype(np.float32)
+        elif precision not in (None, "fp64"):
+            raise ValueError(
+                f"unknown predict precision {precision!r}; choose None/'fp64', 'fp32' or 'int8'"
+            )
         if len(x) == 0:
             return self._empty_output(x)
         outs = []
@@ -158,6 +226,7 @@ class Model:
         grad_accumulation: int = 1,
         profiler: Optional[ContextManager] = None,
         prefetch: bool = False,
+        precision: Optional[str] = None,
     ) -> History:
         """Train the model; returns a :class:`History`.
 
@@ -182,6 +251,15 @@ class Model:
         :class:`repro.parallel.PrefetchLoader` (background-thread double
         buffering) so batch assembly overlaps compute; batch order and
         values are unchanged, so training stays bit-identical.
+
+        ``precision`` selects the training datapath: ``None``/"fp64" is
+        the unchanged full-precision path; ``"fp32"``, ``"bf16"`` and
+        ``"fp16"`` run the real reduced-precision datapath — fp32 master
+        weights, narrow-storage fused kernels with fp32 accumulation
+        (bf16/fp16 via :mod:`repro.nn.amp`), and automatic loss scaling
+        for fp16 through :class:`repro.precision.LossScaler`.  Parameters
+        are cast to fp32 in place; the controller's stats land on
+        ``history.precision``.
         """
         if grad_accumulation < 1:
             raise ValueError("grad_accumulation must be >= 1")
@@ -194,6 +272,23 @@ class Model:
         if not self.built:
             self.build(x.shape[1:], rng)
         loss_fn = losses_mod.get(loss) if isinstance(loss, str) else loss
+        amp_state = None
+        if precision is not None and precision != "fp64":
+            # Lazy import: repro.precision imports repro.nn at module scope.
+            from ..precision.autocast import FitPrecision
+
+            amp_state = FitPrecision(precision, self.parameters())
+            x = amp_state.cast_array(x)
+            if y is not None:
+                y = amp_state.cast_array(y)
+            if validation_data is not None:
+                vx, vy = validation_data
+                validation_data = (
+                    amp_state.cast_array(vx),
+                    None if vy is None else amp_state.cast_array(vy),
+                )
+        # The optimizer is built after any precision cast so its scratch
+        # buffers (Adam moments) match the fp32 master weights.
         opt = optimizer or Adam(self.parameters(), lr=lr)
         metric_fns = {m: metrics_mod.get(m) for m in metrics}
         loader = DataLoader(x, y, batch_size=batch_size, shuffle=True, rng=rng)
@@ -245,18 +340,28 @@ class Model:
                         step_id = rec.begin("step", kind="fit.step")
                     xt = Tensor(xb)
                     target = xb if yb is None else yb
-                    pred = self.forward(xt, training=True)
-                    batch_loss = loss_fn(pred, target)
                     window = (
                         trailing_window
                         if trailing_window and n_batches >= full_window_batches
                         else grad_accumulation
                     )
-                    if window > 1:
-                        # Average (not sum) over the accumulation window.
-                        (batch_loss * (1.0 / window)).backward()
+                    if amp_state is not None:
+                        with amp_state.cast():
+                            pred = self.forward(xt, training=True)
+                            batch_loss = loss_fn(pred, target)
+                            # One seed folds loss scale and window average;
+                            # grads are unscaled at the window boundary.
+                            batch_loss.backward(
+                                amp_state.seed(window, batch_loss.data.dtype)
+                            )
                     else:
-                        batch_loss.backward()
+                        pred = self.forward(xt, training=True)
+                        batch_loss = loss_fn(pred, target)
+                        if window > 1:
+                            # Average (not sum) over the accumulation window.
+                            (batch_loss * (1.0 / window)).backward()
+                        else:
+                            batch_loss.backward()
                     loss_val = batch_loss.item()
                     if rec is not None:
                         # Grad norm must be read here: the window boundary
@@ -264,13 +369,10 @@ class Model:
                         grad_norm = math.sqrt(sum(
                             np.vdot(p.grad, p.grad)
                             for p in obs_params if p.grad is not None
-                        ))
+                        )) / (amp_state.scale if amp_state is not None else 1.0)
                     accum += 1
                     if accum >= grad_accumulation:
-                        if clip_norm is not None:
-                            opt.clip_grad_norm(clip_norm)
-                        opt.step()
-                        opt.zero_grad()
+                        self._apply_step(opt, amp_state, clip_norm)
                         accum = 0
                     epoch_loss += loss_val
                     n_batches += 1
@@ -282,10 +384,7 @@ class Model:
                     if step_hook is not None:
                         step_hook(getattr(opt, "step_count", n_batches), loss_val)
                 if accum > 0:  # flush a trailing partial window
-                    if clip_norm is not None:
-                        opt.clip_grad_norm(clip_norm)
-                    opt.step()
-                    opt.zero_grad()
+                    self._apply_step(opt, amp_state, clip_norm)
                 record: Dict[str, float] = {
                     "loss": epoch_loss / max(n_batches, 1),
                     "time": time.perf_counter() - t0,
@@ -319,7 +418,22 @@ class Model:
             self.set_weights(best_weights)
         if rec is not None:
             rec.end(fit_id, epochs_run=len(history))
+        if amp_state is not None:
+            history.precision = amp_state.stats()
         return history
+
+    @staticmethod
+    def _apply_step(opt: Optimizer, amp_state, clip_norm: Optional[float]) -> None:
+        """Close one accumulation window: unscale/check (mixed precision),
+        clip, step, zero.  A non-finite window is dropped whole — the
+        scaler has already halved, so the retry lands in range."""
+        if amp_state is not None and not amp_state.unscale_and_check():
+            opt.zero_grad()
+            return
+        if clip_norm is not None:
+            opt.clip_grad_norm(clip_norm)
+        opt.step()
+        opt.zero_grad()
 
     def evaluate(
         self,

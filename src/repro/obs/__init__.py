@@ -52,6 +52,7 @@ from .schema import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
+    BENCH_PRECISION_SCHEMA,
     BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     SchemaError,
@@ -85,4 +86,5 @@ __all__ = [
     "BENCH_SERVING_SCALE_SCHEMA",
     "BENCH_OBS_SCHEMA",
     "BENCH_PARALLEL_SCHEMA",
+    "BENCH_PRECISION_SCHEMA",
 ]

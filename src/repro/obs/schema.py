@@ -7,7 +7,7 @@ comparing fields that no longer exist.  Each artifact therefore gets a
 declared schema — the trace JSONL records (versioned via
 :data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`), ``BENCH_kernels.json``,
 ``BENCH_serving.json``, ``BENCH_serving_scale.json``, ``BENCH_obs.json``,
-and ``BENCH_parallel.json``
+``BENCH_parallel.json``, and ``BENCH_precision.json``
 — and CI validates the generated files against them
 (``tests/test_schemas.py``).
 
@@ -208,6 +208,19 @@ BENCH_KERNELS_SCHEMA = obj(
                 "linear_act": obj({"max_grad_diff": NONNEG, **_FUSED_ROW_COMMON}),
                 "softmax_cross_entropy": obj({"max_diff": NONNEG, **_FUSED_ROW_COMMON}),
                 "tol": NONNEG,
+            },
+        ),
+        "dtype": obj(
+            {
+                "shape": STR,
+                "rows": arr(obj(
+                    {"format": {"enum": ["fp64", "fp32", "bf16", "fp16"]},
+                     "ms": NONNEG, "speedup_vs_fp64": NONNEG, "max_fwd_diff": NONNEG},
+                )),
+                "int8_linear": obj(
+                    {"fp32_ms": NONNEG, "int8_ms": NONNEG, "speedup_vs_fp32": NONNEG,
+                     "max_diff_vs_fp32": NONNEG, "exact_f32_path": BOOL},
+                ),
             },
         ),
         "train_step": obj(
@@ -413,6 +426,77 @@ BENCH_PARALLEL_SCHEMA = obj(
         "meta": obj(
             {"numpy": STR, "cpus": _POS_INT, "start_method": STR,
              "smoke": BOOL, "blas_pinned": BOOL},
+        ),
+    },
+)
+
+#: ``BENCH_precision.json`` — the end-to-end reduced-precision benchmark
+#: (``benchmarks/bench_precision_e2e.py``): measured p1b2 train-step time
+#: per storage format, int8 serving throughput vs the fp32 single-stream
+#: baseline, AUC parity, and the CI acceptance gates.
+BENCH_PRECISION_SCHEMA = obj(
+    {
+        "meta": obj(
+            {"numpy": STR, "smoke": BOOL, "reps": _POS_INT, "benchmark": STR},
+        ),
+        "train": obj(
+            {
+                "n_samples": NONNEG_INT,
+                "n_features": NONNEG_INT,
+                "batch_size": _POS_INT,
+                "epochs": _POS_INT,
+                # One row per trained format.  ``fp32_emulated`` is the
+                # pre-existing PrecisionPolicy("fp32") emulation path
+                # (float64 datapath + rounding) — the baseline the bf16
+                # gate is scored against; the others run the real
+                # narrow-storage datapath via Model.fit(precision=...).
+                "rows": arr(obj(
+                    {
+                        "format": {
+                            "enum": ["fp64", "fp32", "bf16", "fp16", "fp32_emulated"],
+                        },
+                        "step_ms": NONNEG,
+                        "speedup_vs_fp64": NONNEG,
+                        "final_loss": NUM,
+                        "loss_dev_vs_fp64": NONNEG,
+                    },
+                    optional={"skipped_steps": NONNEG_INT, "final_loss_scale": NONNEG},
+                )),
+                "bf16_vs_emulated_fp32_speedup": NONNEG,
+                "bf16_vs_fp32_speedup": NONNEG,
+                "bf16_vs_fp64_speedup": NONNEG,
+            },
+        ),
+        "serving": obj(
+            {
+                "n_eval": NONNEG_INT,
+                "auc": obj({"fp64": NONNEG, "fp32": NONNEG, "int8": NONNEG}),
+                "auc_drop_int8_vs_fp32": NUM,
+                "fp32_single_stream_rps": NONNEG,
+                "fp32_batched_rps": NONNEG,
+                "int8_single_stream_rps": NONNEG,
+                "int8_batched_rps": NONNEG,
+                "served_bit_identical": BOOL,
+                "weight_bytes": obj(
+                    {"fp64": NONNEG_INT, "fp32": NONNEG_INT, "int8": NONNEG_INT},
+                ),
+            },
+        ),
+        "acceptance": obj(
+            {
+                "bf16_train_speedup": NONNEG,
+                "bf16_train_speedup_min": NONNEG,
+                "bf16_train_ok": BOOL,
+                "int8_serving_speedup": NONNEG,
+                "int8_serving_speedup_min": NONNEG,
+                "int8_serving_ok": BOOL,
+                "int8_auc_drop": NUM,
+                "int8_auc_drop_max": NONNEG,
+                "int8_auc_ok": BOOL,
+                "train_parity_ok": BOOL,
+                "served_bit_identical": BOOL,
+                "gates_enforced": BOOL,
+            },
         ),
     },
 )

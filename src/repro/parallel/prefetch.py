@@ -10,7 +10,10 @@ and a small bounded queue (double buffering by default), so batch
 The wrapper is ordering- and value-transparent: batches come out
 exactly as the underlying loader yields them, so training remains
 bit-identical with prefetching on or off — it only moves *when* the
-assembly work happens.
+assembly work happens.  That transparency includes dtype: batches are
+handed over by reference, never copied or re-packed, so a float32
+pipeline (``DataLoader(dtype=np.float32)``) stays float32 end to end —
+guarded by the dtype-preservation regression tests.
 """
 
 from __future__ import annotations

@@ -153,9 +153,14 @@ class SharedArrayStore:
         self._arrays[key] = view
         return view
 
-    def publish(self, key: str, array: np.ndarray) -> SharedArrayRef:
-        """Copy ``array`` into shared memory once; returns its ref."""
-        array = np.ascontiguousarray(array)
+    def publish(self, key: str, array: np.ndarray, dtype=None) -> SharedArrayRef:
+        """Copy ``array`` into shared memory once; returns its ref.
+
+        ``dtype`` casts at publish time (e.g. float64 weights into
+        float32 segments — half the shared bytes); the source array is
+        untouched.
+        """
+        array = np.ascontiguousarray(array, dtype=dtype)
         view = self.allocate(key, array.shape, array.dtype)
         view[...] = array
         return self._refs[key]

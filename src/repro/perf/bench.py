@@ -13,6 +13,9 @@ Sections
   kernels vs the pre-PR N-major batched-matmul kernels;
 * ``fused`` — linear_act / softmax_cross_entropy vs their unfused
   compositions: timing *and* output/gradient parity (the CI gate);
+* ``dtype`` — the fused linear_act step per storage format (fp64 / fp32 /
+  bf16 / fp16 autocast) plus the int8 fused inference linear vs fp32,
+  with per-format forward deviation from the fp64 reference;
 * ``train_step`` — full MLP and CNN train steps (forward + backward +
   optimizer) on the optimized engine vs a faithful pre-PR composition.
 """
@@ -400,6 +403,97 @@ def bench_cnn_train_step(smoke: bool, reps: int) -> Dict:
 
 
 # ----------------------------------------------------------------------
+# Dtype-aware kernels: one fused linear_act train micro-step per format
+# ----------------------------------------------------------------------
+def bench_dtype_kernels(smoke: bool, reps: int) -> Dict:
+    """Fused ``linear_act`` forward+backward per storage format, plus the
+    int8 fused linear (inference) against the fp32 forward.
+
+    ``ms`` rows share one shape so the column is directly comparable;
+    ``max_fwd_diff`` is each format's forward deviation from the fp64
+    reference (the documented cost of the narrow grid).  The int8 entry
+    also reports whether the f32-exact fast GEMM path applies at this
+    shape (K within :data:`repro.precision.int8.INT8_GEMM_EXACT_MAX_K`).
+    """
+    from ..nn import Tensor, no_grad
+    from ..nn import amp
+    from ..nn import functional as F
+    from ..precision.int8 import INT8_GEMM_EXACT_MAX_K, int8_linear, quantize_activations
+    from ..precision.quantize import calibrate
+
+    n, d, u = (64, 48, 32) if smoke else (256, 400, 256)
+    rng = np.random.default_rng(6)
+    x64 = rng.standard_normal((n, d))
+    w64 = rng.standard_normal((d, u)) / np.sqrt(d)
+    b64 = rng.standard_normal(u)
+
+    def make_step(xa, wa, ba, fmt=None):
+        def run():
+            xt = Tensor(xa, requires_grad=True)
+            wt = Tensor(wa, requires_grad=True)
+            bt = Tensor(ba, requires_grad=True)
+            if fmt is None:
+                out = F.linear_act(xt, wt, bt, activation="relu")
+                out.sum().backward()
+            else:
+                with amp.autocast(fmt):
+                    out = F.linear_act(xt, wt, bt, activation="relu")
+                    out.sum().backward()
+            return out.data
+        return run
+
+    x32, w32, b32 = (a.astype(np.float32) for a in (x64, w64, b64))
+    configs = [
+        ("fp64", make_step(x64, w64, b64)),
+        ("fp32", make_step(x32, w32, b32)),
+        ("bf16", make_step(x32, w32, b32, "bf16")),
+        ("fp16", make_step(x32, w32, b32, "fp16")),
+    ]
+    ref_out = configs[0][1]().astype(np.float64)
+    rows = []
+    fp64_ms = None
+    for fmt, step in configs:
+        out = step().astype(np.float64)
+        ms = _time_ms(step, reps)
+        if fmt == "fp64":
+            fp64_ms = ms
+        rows.append({
+            "format": fmt,
+            "ms": ms,
+            "speedup_vs_fp64": fp64_ms / ms,
+            "max_fwd_diff": float(np.abs(out - ref_out).max()),
+        })
+
+    # int8 inference: calibrated fused linear vs the fp32 no-grad forward.
+    x_qp = calibrate(x32, method="minmax")
+    w_qp = calibrate(w32, method="minmax")
+    qw = w_qp.quantize(w32)
+    qw_f32 = qw.astype(np.float32)
+    xt32, wt32, bt32 = Tensor(x32), Tensor(w32), Tensor(b32)
+
+    def fp32_fwd():
+        with no_grad():
+            return F.linear_act(xt32, wt32, bt32, activation="relu").data
+
+    def int8_fwd():
+        qx = quantize_activations(x32, x_qp.scale)
+        return int8_linear(qx, qw_f32, x_qp.scale, w_qp.scale, b32, "relu", exact_f32=True)
+
+    ref32 = fp32_fwd().astype(np.float64)
+    out8 = int8_fwd().astype(np.float64)
+    t32 = _time_ms(fp32_fwd, reps)
+    t8 = _time_ms(int8_fwd, reps)
+    int8_row = {
+        "fp32_ms": t32,
+        "int8_ms": t8,
+        "speedup_vs_fp32": t32 / t8,
+        "max_diff_vs_fp32": float(np.abs(out8 - ref32).max()),
+        "exact_f32_path": bool(d <= INT8_GEMM_EXACT_MAX_K),
+    }
+    return {"shape": f"N{n} {d}->{u} relu", "rows": rows, "int8_linear": int8_row}
+
+
+# ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
 def run_suite(smoke: bool = False, reps: Optional[int] = None) -> Dict:
@@ -411,6 +505,7 @@ def run_suite(smoke: bool = False, reps: Optional[int] = None) -> Dict:
         "conv1d_forward": bench_conv1d_forward(smoke, reps),
         "conv2d_forward": bench_conv2d_forward(smoke, reps),
         "fused": bench_fused_vs_unfused(smoke, reps),
+        "dtype": bench_dtype_kernels(smoke, reps),
         "train_step": {
             "mlp": bench_mlp_train_step(smoke, reps),
             "cnn": bench_cnn_train_step(smoke, reps),
@@ -453,6 +548,18 @@ def format_results(results: Dict) -> str:
             f"   {name:<38} unfused {f['unfused_ms']:8.3f} ms  fused {f['fused_ms']:8.3f} ms"
             f"  x{f['speedup']:.2f}  ok={f['ok']}"
         )
+    dt = results["dtype"]
+    lines.append(f"-- dtype kernels ({dt['shape']})")
+    for r in dt["rows"]:
+        lines.append(
+            f"   linear_act[{r['format']}]{'':<24} {r['ms']:8.3f} ms  x{r['speedup_vs_fp64']:.2f} vs fp64"
+            f"  fwd_diff {r['max_fwd_diff']:.2e}"
+        )
+    i8 = dt["int8_linear"]
+    lines.append(
+        f"   {'int8_linear (inference)':<38} fp32 {i8['fp32_ms']:8.3f} ms  int8 {i8['int8_ms']:8.3f} ms"
+        f"  x{i8['speedup_vs_fp32']:.2f}  diff {i8['max_diff_vs_fp32']:.2e}"
+    )
     lines.append("-- train step (fwd + bwd + optimizer)")
     for r in results["train_step"]["mlp"]:
         label = f"mlp [{r['role']}] {r['shape']}"

@@ -1,8 +1,33 @@
-"""Reduced-precision emulation: rounding, int8 quantization, and
-mixed-precision training policies (claim C7 / experiment E1)."""
+"""Reduced precision: emulation (rounding/policies), the real narrow
+datapath (autocast + fp32-accumulate fused kernels), and calibrated int8
+inference (claim C7 / experiment E1).
 
+The emulation half (:class:`PrecisionPolicy`, rounders) answers *"is this
+format numerically sufficient?"* on a float64 datapath; the autocast/int8
+half (:class:`FitPrecision`, :class:`Int8Plan`) makes the sufficient
+formats *faster* in measured wall-clock — see
+``benchmarks/bench_precision_e2e.py``.
+"""
+
+from .autocast import TRAIN_FORMATS, FitPrecision, autocast, snap_bf16, snap_bf16_
+from .int8 import (
+    INT8_GEMM_EXACT_MAX_K,
+    Int8Plan,
+    QuantizedDense,
+    int8_linear,
+    plan_from_spec,
+    quantize_activations,
+    quantize_model,
+)
 from .policy import LayerwisePolicy, LossScaler, PrecisionPolicy, train_with_policy
-from .quantize import INT8_LEVELS, QuantParams, calibrate, quantization_mse, quantize_weights
+from .quantize import (
+    INT8_LEVELS,
+    QuantParams,
+    calibrate,
+    min_size_for_percentile,
+    quantization_mse,
+    quantize_weights,
+)
 from .rounding import (
     FORMAT_INFO,
     get_rounder,
@@ -17,6 +42,10 @@ from .rounding import (
 __all__ = [
     "PrecisionPolicy", "LayerwisePolicy", "LossScaler", "train_with_policy",
     "QuantParams", "calibrate", "quantize_weights", "quantization_mse", "INT8_LEVELS",
+    "min_size_for_percentile",
     "FORMAT_INFO", "get_rounder", "round_fp32", "round_fp16", "round_bf16",
     "round_fp8_e4m3", "stochastic_round_fp16", "quantization_noise_std",
+    "autocast", "FitPrecision", "TRAIN_FORMATS", "snap_bf16", "snap_bf16_",
+    "Int8Plan", "QuantizedDense", "int8_linear", "quantize_activations",
+    "quantize_model", "plan_from_spec", "INT8_GEMM_EXACT_MAX_K",
 ]

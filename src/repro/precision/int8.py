@@ -1,0 +1,377 @@
+"""Calibrated int8 inference: the serving half of claim C7.
+
+Post-training static quantization for the Dense/MLP topologies the serving
+tier hosts (the CANDLE type-classifiers): per-tensor symmetric scales from
+:func:`repro.precision.quantize.calibrate`, int8 weights, activations
+quantized on the fly, and an int8×int8→int32-accumulate fused linear that
+rescales straight into a float32 epilogue (bias + activation).
+
+Two GEMM paths compute the *same exact integer accumulator*:
+
+* the int32 reference path — ``int8.astype(int32) @ int8.astype(int32)``,
+  always exact, but NumPy has no tuned integer GEMM so it is slow;
+* the f32-exact fast path — int8 values held in float32 and fed to the
+  BLAS sgemm.  Every product is an integer ≤ 127² = 16129 and every
+  partial sum stays an exactly-representable integer while
+  ``K·127² < 2²⁴``, i.e. ``K ≤ 1040`` (:data:`INT8_GEMM_EXACT_MAX_K`);
+  within that bound the two paths are bit-identical and the fast path
+  runs at full sgemm speed — this is what makes int8 serving *faster*
+  than fp32 instead of a simulation.
+
+Plans are split into a picklable :meth:`Int8Plan.spec` (structure +
+scales) and the weight arrays themselves, so the distributed serving tier
+can ship int8 weights through :class:`repro.parallel.shm.SharedArrayStore`
+(one byte per parameter — a quarter of fp32 segments) and rebuild the
+plan replica-side, and the model registry can re-quantize
+deterministically from an fp32 checkpoint plus recorded scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Activation, Dense, Dropout, Flatten
+from .quantize import INT8_LEVELS, QuantParams, calibrate, min_size_for_percentile
+
+#: Largest inner dimension for which the f32-held int8 GEMM is exact:
+#: partial sums reach at most K·127², which must stay below 2²⁴ (the
+#: float32 integer-exactness bound).
+INT8_GEMM_EXACT_MAX_K = (1 << 24) // (INT8_LEVELS * INT8_LEVELS)
+
+
+def _relu_(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0, out=z)
+
+
+def _tanh_(z: np.ndarray) -> np.ndarray:
+    return np.tanh(z, out=z)
+
+
+def _sigmoid_(z: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):  # exp overflow -> inf -> 1/inf == 0
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        z += 1.0
+        return np.reciprocal(z, out=z)
+
+
+def _softmax_(z: np.ndarray) -> np.ndarray:
+    z -= z.max(axis=-1, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=-1, keepdims=True)
+    return z
+
+
+def _linear_(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+_ACTS = {
+    "relu": _relu_,
+    "tanh": _tanh_,
+    "sigmoid": _sigmoid_,
+    "softmax": _softmax_,
+    "linear": _linear_,
+    None: _linear_,
+}
+
+
+def quantize_activations(a: np.ndarray, scale: float) -> np.ndarray:
+    """float -> int8 grid, returned as integer-valued float32 (sgemm-ready)."""
+    q = np.rint(np.asarray(a, dtype=np.float32) * (1.0 / scale))
+    np.clip(q, -float(INT8_LEVELS), float(INT8_LEVELS), out=q)
+    return q
+
+
+def int8_linear(
+    qx: np.ndarray,
+    qw: np.ndarray,
+    x_scale: float,
+    w_scale: float,
+    bias: Optional[np.ndarray] = None,
+    act: Optional[str] = None,
+    exact_f32: Optional[bool] = None,
+) -> np.ndarray:
+    """Fused quantized linear: int8×int8 → int32 accumulate → rescale.
+
+    ``qx``/``qw`` hold int8-grid values (dtype int8, or integer-valued
+    float32 for the fast path).  ``exact_f32`` forces a GEMM path; by
+    default the f32-exact path is used iff the inner dimension admits it.
+    Returns float32 ``(qx @ qw) · x_scale·w_scale + bias`` with ``act``
+    applied in place.
+    """
+    k = qw.shape[0]
+    if exact_f32 is None:
+        exact_f32 = k <= INT8_GEMM_EXACT_MAX_K
+    if exact_f32:
+        if k > INT8_GEMM_EXACT_MAX_K:
+            raise ValueError(
+                f"f32-exact int8 GEMM requires K <= {INT8_GEMM_EXACT_MAX_K}, got {k}"
+            )
+        acc = np.asarray(qx, dtype=np.float32) @ np.asarray(qw, dtype=np.float32)
+    else:
+        acc = qx.astype(np.int32) @ qw.astype(np.int32)
+        acc = acc.astype(np.float32)
+    out = acc * (float(x_scale) * float(w_scale))
+    if bias is not None:
+        out += bias
+    return _ACTS[act](out)
+
+
+@dataclass
+class QuantizedDense:
+    """One quantized Dense layer: int8 weights + the scales to run it."""
+
+    layer_index: int
+    qweight: np.ndarray  # int8, (in_dim, units)
+    w_scale: float
+    x_scale: float
+    bias: Optional[np.ndarray]  # float32 or None
+    act: Optional[str]  # fused epilogue activation
+    _qw_f32: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    @property
+    def exact(self) -> bool:
+        return self.qweight.shape[0] <= INT8_GEMM_EXACT_MAX_K
+
+    @property
+    def qw_f32(self) -> np.ndarray:
+        if self._qw_f32 is None:
+            self._qw_f32 = np.ascontiguousarray(self.qweight, dtype=np.float32)
+        return self._qw_f32
+
+    def __call__(self, a_f32: np.ndarray) -> np.ndarray:
+        qx = quantize_activations(a_f32, self.x_scale)
+        if self.exact:
+            return int8_linear(
+                qx, self.qw_f32, self.x_scale, self.w_scale, self.bias, self.act,
+                exact_f32=True,
+            )
+        return int8_linear(
+            qx.astype(np.int8), self.qweight, self.x_scale, self.w_scale,
+            self.bias, self.act, exact_f32=False,
+        )
+
+
+class Int8Plan:
+    """Executable int8 inference program for a Dense/activation stack.
+
+    ``steps`` is a list of ``("dense", QuantizedDense)``,
+    ``("act", name)`` and ``("flatten",)`` tuples, in layer order.
+    """
+
+    def __init__(self, steps: List[tuple], method: str, percentile: float) -> None:
+        self.steps = steps
+        self.method = method
+        self.percentile = percentile
+
+    # -- execution -------------------------------------------------------
+    def _forward(self, a: np.ndarray) -> np.ndarray:
+        src = a
+        a = np.ascontiguousarray(a, dtype=np.float32)
+        if a is src:
+            a = a.copy()  # activations run in place; never mutate caller data
+        for step in self.steps:
+            kind = step[0]
+            if kind == "dense":
+                a = step[1](a)
+            elif kind == "act":
+                a = _ACTS[step[1]](a)
+            else:  # flatten
+                a = a.reshape(len(a), -1)
+        return a
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        outs = [
+            self._forward(x[start : start + batch_size])
+            for start in range(0, len(x), batch_size)
+        ]
+        return np.concatenate(outs, axis=0)
+
+    # -- structure accounting --------------------------------------------
+    def weight_bytes(self) -> int:
+        total = 0
+        for step in self.steps:
+            if step[0] == "dense":
+                qd = step[1]
+                total += qd.qweight.nbytes + (qd.bias.nbytes if qd.bias is not None else 0)
+        return total
+
+    def spec(self) -> Dict:
+        """Picklable/JSON-able structure + scales (no weight arrays).
+
+        Scales round-trip exactly through JSON (shortest-repr floats), so
+        a plan rebuilt from an fp32 checkpoint plus this spec is
+        bit-identical to the original.
+        """
+        steps = []
+        for step in self.steps:
+            if step[0] == "dense":
+                qd = step[1]
+                steps.append({
+                    "kind": "dense",
+                    "layer_index": qd.layer_index,
+                    "w_scale": qd.w_scale,
+                    "x_scale": qd.x_scale,
+                    "has_bias": qd.bias is not None,
+                    "act": qd.act,
+                })
+            elif step[0] == "act":
+                steps.append({"kind": "act", "act": step[1]})
+            else:
+                steps.append({"kind": "flatten"})
+        return {
+            "format": "int8",
+            "method": self.method,
+            "percentile": self.percentile,
+            "steps": steps,
+        }
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Named weight arrays for shared-memory publishing (int8 qweights,
+        f32 biases) keyed ``q{i}.w`` / ``q{i}.b`` by step position."""
+        out: Dict[str, np.ndarray] = {}
+        for i, step in enumerate(self.steps):
+            if step[0] == "dense":
+                out[f"q{i}.w"] = step[1].qweight
+                if step[1].bias is not None:
+                    out[f"q{i}.b"] = step[1].bias
+        return out
+
+    @classmethod
+    def from_arrays(cls, spec: Dict, arrays: Dict[str, np.ndarray]) -> "Int8Plan":
+        """Rebuild a plan from :meth:`spec` + :meth:`arrays` (shm attach)."""
+        steps: List[tuple] = []
+        for i, s in enumerate(spec["steps"]):
+            if s["kind"] == "dense":
+                steps.append(("dense", QuantizedDense(
+                    layer_index=s["layer_index"],
+                    qweight=arrays[f"q{i}.w"],
+                    w_scale=s["w_scale"],
+                    x_scale=s["x_scale"],
+                    bias=arrays.get(f"q{i}.b"),
+                    act=s["act"],
+                )))
+            elif s["kind"] == "act":
+                steps.append(("act", s["act"]))
+            else:
+                steps.append(("flatten",))
+        return cls(steps, spec["method"], spec["percentile"])
+
+
+def _calibrate(t: np.ndarray, method: str, percentile: float, what: str) -> QuantParams:
+    """Calibrate one tensor, naming it in any error.
+
+    Tensors too small to resolve the requested percentile tail (e.g. a
+    narrow output head's weight matrix) fall back to minmax — for them
+    the percentile *is* the max, minus interpolation noise.
+    """
+    if method == "percentile" and t.size < min_size_for_percentile(percentile):
+        method = "minmax"
+    try:
+        return calibrate(t, method=method, percentile=percentile)
+    except ValueError as exc:
+        raise ValueError(
+            f"int8 calibration failed for {what}: {exc} "
+            f"(try a larger/more varied calibration batch or method='minmax')"
+        ) from exc
+
+
+def _float_reference_dense(a: np.ndarray, layer: Dense) -> np.ndarray:
+    """fp32 reference forward through one Dense (calibration statistics)."""
+    out = a @ layer.weight.data.astype(np.float32)
+    if layer.bias is not None:
+        out += layer.bias.data.astype(np.float32)
+    act = layer.activation.kind if layer.activation is not None else None
+    return _ACTS[act](out) if act in _ACTS else _ACTS[None](out)
+
+
+def quantize_model(
+    model, x_calib: np.ndarray, method: str = "percentile", percentile: float = 99.9
+) -> Int8Plan:
+    """Calibrate an :class:`Int8Plan` for ``model`` from sample inputs.
+
+    Runs an fp32 reference forward pass over ``x_calib``, calibrating a
+    per-layer activation scale at each Dense input and a per-tensor
+    weight scale (standard post-training static quantization).  Supports
+    Dense / Activation / Dropout / Flatten stacks — the serving-tier
+    topologies; anything else raises rather than silently degrading.
+    """
+    if not model.built:
+        raise RuntimeError("build (or fit) the model before quantizing")
+    src = np.asarray(x_calib)
+    a = np.ascontiguousarray(src, dtype=np.float32)
+    if a is src:
+        a = a.copy()  # reference forward mutates activations in place
+    if len(a) == 0:
+        raise ValueError("cannot calibrate from an empty batch")
+    steps: List[tuple] = []
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, Dense):
+            act = layer.activation.kind if layer.activation is not None else None
+            if act not in _ACTS:
+                raise ValueError(
+                    f"int8 plan does not support fused activation {act!r} "
+                    f"(layer {i}); supported: {sorted(k for k in _ACTS if k)}"
+                )
+            x_qp = _calibrate(a, method, percentile, f"layer {i} input activations")
+            w = layer.weight.data
+            w_qp = _calibrate(w, method, percentile, f"layer {i} weights")
+            steps.append(("dense", QuantizedDense(
+                layer_index=i,
+                qweight=w_qp.quantize(w),
+                w_scale=w_qp.scale,
+                x_scale=x_qp.scale,
+                bias=None if layer.bias is None else layer.bias.data.astype(np.float32),
+                act=act,
+            )))
+            a = _float_reference_dense(a, layer)
+        elif isinstance(layer, Activation):
+            if layer.kind not in _ACTS:
+                raise ValueError(
+                    f"int8 plan does not support activation {layer.kind!r} (layer {i})"
+                )
+            steps.append(("act", layer.kind))
+            a = _ACTS[layer.kind](a)
+        elif isinstance(layer, Dropout):
+            continue  # identity at inference time
+        elif isinstance(layer, Flatten):
+            steps.append(("flatten",))
+            a = a.reshape(len(a), -1)
+        else:
+            raise ValueError(
+                f"int8 plan supports Dense/Activation/Dropout/Flatten stacks; "
+                f"got {type(layer).__name__} at layer {i}"
+            )
+    return Int8Plan(steps, method, percentile)
+
+
+def plan_from_spec(model, spec: Dict) -> Int8Plan:
+    """Rebuild a plan from a checkpoint's quantization metadata.
+
+    Re-quantizes the model's (fp32) weights with the *recorded* scales —
+    deterministic, so the rebuilt plan predicts bit-identically to the
+    plan the spec was saved from.
+    """
+    layers = model.layers
+    steps: List[tuple] = []
+    for s in spec["steps"]:
+        if s["kind"] == "dense":
+            layer = layers[s["layer_index"]]
+            w_qp = QuantParams(scale=s["w_scale"])
+            steps.append(("dense", QuantizedDense(
+                layer_index=s["layer_index"],
+                qweight=w_qp.quantize(layer.weight.data),
+                w_scale=s["w_scale"],
+                x_scale=s["x_scale"],
+                bias=None if layer.bias is None else layer.bias.data.astype(np.float32),
+                act=s["act"],
+            )))
+        elif s["kind"] == "act":
+            steps.append(("act", s["act"]))
+        else:
+            steps.append(("flatten",))
+    return Int8Plan(steps, spec.get("method", "percentile"), spec.get("percentile", 99.9))

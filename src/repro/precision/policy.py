@@ -102,6 +102,10 @@ class PrecisionPolicy:
     # -- rounding primitives -------------------------------------------
     def round_array(self, x: np.ndarray) -> np.ndarray:
         if self.fmt == "int8":
+            if not np.any(x):
+                # Zeros (fresh biases) are exactly representable at any
+                # scale; calibrate() rejects all-zero tensors by design.
+                return np.array(x, dtype=np.float64, copy=True)
             return quantize_mod.calibrate(x, method=self.int8_calibration).fake_quantize(x)
         return self._round(x)
 

@@ -38,31 +38,77 @@ class QuantParams:
         return self.dequantize(self.quantize(x))
 
 
+def min_size_for_percentile(percentile: float) -> int:
+    """Smallest element count at which the ``(100 - percentile)%`` tail is
+    resolvable — below it, ``np.percentile`` just interpolates between the
+    two largest values and the "outlier clipping" the method promises is
+    fictitious."""
+    if percentile >= 100.0:
+        return 1
+    return int(np.ceil(100.0 / (100.0 - percentile)))
+
+
 def calibrate(x: np.ndarray, method: str = "minmax", percentile: float = 99.9) -> QuantParams:
     """Choose a quantization scale for tensor ``x``.
 
     ``minmax`` maps max|x| to the top level; ``percentile`` clips outliers
     so the bulk of the distribution gets finer resolution.
+
+    Degenerate inputs raise instead of returning a junk scale: an
+    all-zero tensor has no meaningful scale (callers that want to pass
+    zeros through untouched should skip quantization — zeros are exactly
+    representable at *any* scale); a percentile whose tail the tensor is
+    too small to resolve silently degrades to minmax, so it is rejected;
+    a percentile that lands on zero while the tensor has signal would
+    saturate everything to ±127.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.size == 0:
         raise ValueError("cannot calibrate an empty tensor")
+    if not np.any(x):
+        raise ValueError(
+            "cannot calibrate an all-zero tensor (any scale is degenerate); "
+            "skip quantization for this tensor — zeros are exactly representable"
+        )
     if method == "minmax":
         amax = float(np.abs(x).max())
     elif method == "percentile":
         if not 0 < percentile <= 100:
             raise ValueError("percentile must be in (0, 100]")
+        need = min_size_for_percentile(percentile)
+        if x.size < need:
+            raise ValueError(
+                f"tensor of {x.size} elements cannot resolve the {percentile} "
+                f"percentile (needs >= {need}); use method='minmax' or a "
+                f"coarser percentile"
+            )
         amax = float(np.percentile(np.abs(x), percentile))
+        if amax == 0.0:
+            raise ValueError(
+                f"the {percentile} percentile of |x| is 0 while max|x| > 0: "
+                f"quantizing at this scale would saturate all signal; use "
+                f"method='minmax' or a higher percentile"
+            )
     else:
         raise ValueError(f"unknown calibration method {method!r}")
-    if amax == 0.0:
-        amax = 1e-8  # all-zero tensor: any scale works
     return QuantParams(scale=amax / INT8_LEVELS)
 
 
 def quantize_weights(weights, method: str = "minmax") -> list:
-    """Fake-quantize a list of weight arrays (per-tensor scales)."""
-    return [calibrate(w, method=method).fake_quantize(w) for w in weights]
+    """Fake-quantize a list of weight arrays (per-tensor scales).
+
+    All-zero arrays (fresh biases) pass through as copies: zeros are
+    exactly representable at any scale, and :func:`calibrate` rejects
+    them by design.
+    """
+    out = []
+    for w in weights:
+        w = np.asarray(w, dtype=np.float64)
+        if not np.any(w):
+            out.append(w.copy())
+        else:
+            out.append(calibrate(w, method=method).fake_quantize(w))
+    return out
 
 
 def quantization_mse(x: np.ndarray, method: str = "minmax") -> float:

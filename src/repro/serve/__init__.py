@@ -44,8 +44,10 @@ from .chaos import ChaosHarness, run_chaos_replay
 from .distributed import ReplicaGroup
 from .metrics import LatencyHistogram, ServingStats
 from .registry import (
+    SUPPORTED_SERVING_DTYPES,
     CheckpointIntegrityError,
     ModelRegistry,
+    UnsupportedDtypeError,
     publish_model,
     read_checkpoint_meta,
     weights_checksum,
@@ -72,6 +74,8 @@ __all__ = [
     "LatencyHistogram",
     "ServingStats",
     "CheckpointIntegrityError",
+    "UnsupportedDtypeError",
+    "SUPPORTED_SERVING_DTYPES",
     "ModelRegistry",
     "publish_model",
     "read_checkpoint_meta",

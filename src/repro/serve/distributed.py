@@ -48,26 +48,52 @@ _MODEL: Optional[Model] = None
 _DATA: Dict[str, np.ndarray] = {}
 _ATTACHED = []  # keep shm mappings alive for the replica's lifetime
 _WEDGED = False  # sticky corrupt-response state (chaos), cleared by respawn
+_PRECISION: Optional[str] = None  # serving datapath, set by the initializer
 
 
-def _init_replica(benchmark, input_shape, hparams, weight_refs, data_refs) -> None:
-    global _MODEL, _WEDGED
+def _init_replica(
+    benchmark, input_shape, hparams, weight_refs, data_refs,
+    precision=None, quant_spec=None, quant_refs=None,
+) -> None:
+    global _MODEL, _WEDGED, _PRECISION
     _WEDGED = False
+    _PRECISION = precision
     spec = get_benchmark(benchmark)
     model = spec.materialize(input_shape=tuple(input_shape), **hparams)
+    if precision in ("fp32", "int8"):
+        # The published segments are float32 (or int8); cast the skeleton
+        # so set_weights installs them without a silent upcast.
+        model.astype(np.float32)
     weights = []
     for ref in weight_refs:
         att = attach(ref)
         _ATTACHED.append(att)
         weights.append(att.array)
-    model.set_weights(weights)  # read the shared segments; never write them
+    if weights:
+        model.set_weights(weights)  # read the shared segments; never write them
+    if precision == "int8":
+        # int8 groups ship the quantized plan, not full-precision weights:
+        # one byte per weight on the shared-memory plane.
+        from ..precision.int8 import Int8Plan
+
+        arrays = {}
+        for key, ref in (quant_refs or {}).items():
+            att = attach(ref)
+            _ATTACHED.append(att)
+            arrays[key] = att.array
+        model._int8_plan = Int8Plan.from_arrays(quant_spec, arrays)
     _DATA.clear()
     for key, ref in data_refs.items():
         att = attach(ref)
         _ATTACHED.append(att)
         _DATA[key] = att.array
-    # Warm-up forward: allocate layer scratch off the request path.
-    model.predict(np.zeros((1,) + tuple(input_shape)), batch_size=1)
+    # Warm-up forward: allocate layer scratch off the request path, in
+    # the serving dtype (a float64 warmup would prime the wrong path).
+    wdtype = np.float64 if precision is None else np.float32
+    model.predict(
+        np.zeros((1,) + tuple(input_shape), dtype=wdtype),
+        batch_size=1, precision=precision,
+    )
     _MODEL = model
 
 
@@ -98,7 +124,7 @@ def _replica_task(payload: Dict[str, Any]) -> np.ndarray:
         xb = np.asarray(_DATA[payload.get("pool_key", "x_pool")][payload["rows"]])
     else:
         xb = payload["x"]
-    out = _MODEL.predict(xb, batch_size=max(len(xb), 1))
+    out = _MODEL.predict(xb, batch_size=max(len(xb), 1), precision=_PRECISION)
     if _WEDGED:
         out = out + 1.0  # wrong bytes, right shape: only a canary notices
     return out
@@ -124,6 +150,13 @@ class ReplicaGroup:
     data:
         Optional arrays to publish alongside the weights (e.g. the
         replay's request pool for row-addressed dispatch).
+    precision:
+        Serving datapath for every replica: ``None`` publishes and serves
+        the model's native dtype; ``"fp32"`` publishes float32 weight
+        segments (half the bytes of fp64) and serves the fp32 path;
+        ``"int8"`` publishes the calibrated quantized plan — int8 weight
+        segments, one byte per parameter — and serves the int8 fused
+        kernels (requires :meth:`repro.nn.Model.quantize_int8` first).
     """
 
     def __init__(
@@ -136,34 +169,69 @@ class ReplicaGroup:
         hang_timeout_s: Optional[float] = 5.0,
         data: Optional[Dict[str, np.ndarray]] = None,
         start_method: Optional[str] = None,
+        precision: Optional[str] = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
+        if precision not in (None, "fp32", "int8"):
+            raise ValueError(
+                f"unknown replica precision {precision!r}; choose None, 'fp32' or 'int8'"
+            )
         self.model = model
         self.benchmark = benchmark
         self.input_shape = tuple(input_shape)
         self.n_replicas = n_replicas
+        self.precision = precision
         self._store = SharedArrayStore(prefix="repro_serve")
-        weight_refs = [
-            self._store.publish(f"w{i}", w) for i, w in enumerate(model.get_weights())
-        ]
+        quant_spec = None
+        quant_refs = None
+        if precision == "int8":
+            plan = getattr(model, "_int8_plan", None)
+            if plan is None:
+                raise ValueError(
+                    "precision='int8' needs a calibrated plan; call "
+                    "model.quantize_int8(x_calib) (or publish the checkpoint "
+                    "with quantization metadata) first"
+                )
+            quant_spec = plan.spec()
+            quant_refs = {
+                key: self._store.publish(key, arr)
+                for key, arr in plan.arrays().items()
+            }
+            weight_refs = []  # replicas run the plan; full weights stay home
+        elif precision == "fp32":
+            weight_refs = [
+                self._store.publish(f"w{i}", w, dtype=np.float32)
+                for i, w in enumerate(model.get_weights())
+            ]
+        else:
+            weight_refs = [
+                self._store.publish(f"w{i}", w) for i, w in enumerate(model.get_weights())
+            ]
         data_refs = {
             key: self._store.publish(key, np.asarray(arr))
             for key, arr in (data or {}).items()
         }
+        self.weight_bytes = sum(r.nbytes for r in weight_refs) + sum(
+            r.nbytes for r in (quant_refs or {}).values()
+        )
         rec = get_recorder()
         self._span = None
         if rec is not None:
             self._span = rec.begin(
                 "replica_group", kind="serve.replica_group",
                 benchmark=benchmark, replicas=n_replicas,
-                weight_bytes=sum(r.nbytes for r in weight_refs),
+                weight_bytes=self.weight_bytes,
+                precision=precision or "native",
             )
         self.pool = ProcessWorkerPool(
             _replica_task,
             n_replicas,
             initializer=_init_replica,
-            initargs=(benchmark, self.input_shape, hparams or {}, weight_refs, data_refs),
+            initargs=(
+                benchmark, self.input_shape, hparams or {}, weight_refs, data_refs,
+                precision, quant_spec, quant_refs,
+            ),
             start_method=start_method,
             dedicated_queues=True,
             max_task_retries=0,  # retry policy belongs to the Router

@@ -37,6 +37,20 @@ class CheckpointIntegrityError(RuntimeError):
     any weights are installed into a model."""
 
 
+class UnsupportedDtypeError(RuntimeError):
+    """A checkpoint's weights use a dtype the host kernels cannot serve.
+    Raised at load time, before any weights are installed — loading would
+    otherwise silently cast into the model's built dtype and serve
+    different numerics than were published."""
+
+
+#: Weight dtypes the NumPy serving kernels handle natively.  int8
+#: checkpoints are served as fp32 weights *plus* quantization metadata
+#: (the int8 plan is rebuilt from recorded scales), so int8 never appears
+#: as a raw weight dtype here.
+SUPPORTED_SERVING_DTYPES = frozenset({"float64", "float32", "float16"})
+
+
 def weights_checksum(weights: Iterable[np.ndarray]) -> str:
     """SHA-256 over every weight array's dtype, shape, and raw bytes.
 
@@ -59,22 +73,35 @@ def publish_model(
     input_shape: tuple,
     hparams: Optional[Dict] = None,
     metadata: Optional[Dict] = None,
+    quantization: Optional[Dict] = None,
 ) -> Path:
     """Write a serving checkpoint that the registry can load by itself.
 
     ``benchmark`` must name an entry of :data:`repro.candle.registry.REGISTRY`
     (the registry rebuilds the architecture through its ``build_model``);
     ``hparams`` are the builder kwargs the weights were trained with.
+
+    The checkpoint records each parameter's dtype next to the content
+    checksum, and — when the model carries a calibrated int8 plan (see
+    :meth:`repro.nn.Model.quantize_int8`) or ``quantization`` is passed
+    explicitly — the quantization spec (per-layer scales + calibration
+    method), so a loader can rebuild the exact int8 datapath.
     """
     get_benchmark(benchmark)  # validate early, not at first request
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    weights = model.get_weights()
+    if quantization is None:
+        plan = getattr(model, "_int8_plan", None)
+        quantization = plan.spec() if plan is not None else None
     meta = {
         "benchmark": benchmark,
         "input_shape": list(input_shape),
         "hparams": hparams or {},
-        "checksum": weights_checksum(model.get_weights()),
+        "checksum": weights_checksum(weights),
+        "dtypes": [str(w.dtype) for w in weights],
+        "quantization": quantization,
         "extra": metadata or {},
     }
     save_weights(model, path, metadata=meta)
@@ -191,13 +218,38 @@ class ModelRegistry:
 
     def _load(self, path: Path) -> Model:
         meta = read_checkpoint_meta(path)
+        dtypes = set(meta.get("dtypes", ()))
+        unsupported = dtypes - SUPPORTED_SERVING_DTYPES
+        if unsupported:
+            raise UnsupportedDtypeError(
+                f"{path}: checkpoint weight dtype(s) {sorted(unsupported)} are not "
+                f"servable by the host kernels (supported: "
+                f"{sorted(SUPPORTED_SERVING_DTYPES)})"
+            )
         spec = get_benchmark(meta["benchmark"])
         model = spec.materialize(input_shape=tuple(meta["input_shape"]), **meta["hparams"])
+        if len(dtypes) == 1:
+            # Serve in the published dtype: materialize builds float64
+            # parameters, and set_weights casts *into* the existing
+            # buffers — without this cast an fp32 checkpoint would be
+            # silently upcast and served at the wrong precision.
+            model.astype(np.dtype(next(iter(dtypes))))
         load_weights(model, path)
+        quant = meta.get("quantization")
+        if quant is not None:
+            # Rebuild the int8 plan from recorded scales: deterministic,
+            # so the served datapath is bit-identical to the published one.
+            from ..precision.int8 import plan_from_spec
+
+            model._int8_plan = plan_from_spec(model, quant)
         if self.warmup:
             # One throwaway forward allocates every layer's scratch and
             # triggers BLAS thread-pool spin-up off the request path.
-            x = np.zeros((self.warmup_batch,) + tuple(meta["input_shape"]))
+            # Warm up in the served dtype — a float64 warmup batch on an
+            # fp32 model would exercise (and cache-prime) the wrong path.
+            p0 = next(iter(model.parameters()), None)
+            wdtype = p0.data.dtype if p0 is not None else np.float64
+            x = np.zeros((self.warmup_batch,) + tuple(meta["input_shape"]), dtype=wdtype)
             with no_grad():
                 model.predict(x, batch_size=self.warmup_batch)
         self.loads += 1

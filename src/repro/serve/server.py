@@ -51,6 +51,12 @@ class InferenceServer:
         Optional :class:`repro.perf.OpProfiler` entered around every
         batch execution, attributing the forward's per-op cost (and the
         ``serve.batch`` envelope) to the profiler.
+    precision:
+        Inference datapath passed to :meth:`Model.predict` on every
+        batch — ``None``/"fp64" (native), ``"fp32"``, or ``"int8"``
+        (requires a plan from :meth:`Model.quantize_int8`).  Validated
+        eagerly so a misconfigured server fails at construction, not on
+        the first request.
     """
 
     def __init__(
@@ -59,11 +65,22 @@ class InferenceServer:
         policy: Optional[BatchPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         profiler=None,
+        precision: Optional[str] = None,
     ) -> None:
+        if precision not in (None, "fp64", "fp32", "int8"):
+            raise ValueError(
+                f"unknown serving precision {precision!r}; choose None/'fp64', 'fp32' or 'int8'"
+            )
+        if precision == "int8" and getattr(model, "_int8_plan", None) is None:
+            raise ValueError(
+                "precision='int8' needs a calibrated plan; call "
+                "model.quantize_int8(x_calib) before constructing the server"
+            )
         self.model = model
         self.policy = policy or BatchPolicy()
         self.clock = clock or time.perf_counter
         self.profiler = profiler
+        self.precision = precision
         self.batcher = MicroBatcher(self.policy)
         self.stats = ServingStats()
         self._next_id = 0
@@ -146,15 +163,17 @@ class InferenceServer:
         t0 = time.perf_counter()
         if self.profiler is not None:
             with self.profiler:
-                out = _serve_batch(self.model, xb)
+                out = _serve_batch(self.model, xb, self.precision)
         else:
-            out = _serve_batch(self.model, xb)
+            out = _serve_batch(self.model, xb, self.precision)
         self.stats.record_batch(len(xs), time.perf_counter() - t0)
         return [out[i] for i in range(len(xs))]
 
 
-def _predict_batch(model: Model, xb: np.ndarray) -> np.ndarray:
-    return model.predict(xb, batch_size=max(len(xb), 1))
+def _predict_batch(model: Model, xb: np.ndarray, precision: Optional[str] = None) -> np.ndarray:
+    # Routing through Model.predict keeps the serving guarantee: a served
+    # batch is bit-identical to calling predict(..., precision=) directly.
+    return model.predict(xb, batch_size=max(len(xb), 1), precision=precision)
 
 
 # Instrumented at import time like the functional ops: any active

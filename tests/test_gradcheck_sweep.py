@@ -21,6 +21,13 @@ Numerics notes baked into the cases:
   differentiable — :func:`gradient_check`'s documented contract;
 * dropout resets its mask RNG before every forward so the finite
   differences see the same mask the autograd pass saw.
+
+The narrow-format sweep at the bottom extends the dtype property to the
+real reduced-precision datapaths: every public layer and loss runs
+forward+backward at fp32 and under ``autocast("bf16")`` and must match
+its float64 reference within relaxed per-format tolerances — with the
+same enforced coverage, and with a no-silent-upcast assertion (a float32
+input that comes back float64 fails the sweep).
 """
 
 import inspect
@@ -476,3 +483,303 @@ class TestZCoverage:
     def test_every_public_loss_is_gradchecked(self):
         missing = _public_losses() - COVERED_LOSSES
         assert not missing, f"losses with no gradcheck sweep case: {sorted(missing)}"
+
+
+# ----------------------------------------------------------------------
+# Narrow-format sweep: the real fp32 / bf16 datapaths vs float64
+# ----------------------------------------------------------------------
+from contextlib import nullcontext  # noqa: E402
+
+from repro.nn.amp import autocast  # noqa: E402
+
+NARROW_FORMATS = ("fp32", "bf16")
+#: Relaxed per-format tolerances.  fp32 keeps ~7 significant digits per
+#: op; bf16 has a 7-bit mantissa (~0.4% per rounding), compounded over a
+#: layer's op chain (worst case: the recurrent cells).
+NARROW_TOL = {"fp32": dict(rtol=1e-3, atol=1e-3), "bf16": dict(rtol=6e-2, atol=6e-2)}
+
+#: Filled by the narrow-sweep tests; coverage enforced at the bottom.
+COVERED_NARROW_LAYERS = set()
+COVERED_NARROW_LOSSES = set()
+
+
+def _cast_layer_f32(layer):
+    """Cast a built layer's parameters (and dtype-bearing buffers) to
+    float32 in place — the standalone-layer analogue of Model.astype."""
+    for p in layer.parameters():
+        p.data = p.data.astype(np.float32)
+        p.grad = None
+    if hasattr(layer, "dtype"):
+        layer.dtype = np.float32
+    for buf in ("running_mean", "running_var"):
+        b = getattr(layer, buf, None)
+        if b is not None:
+            setattr(layer, buf, b.astype(np.float32))
+    return layer
+
+
+def _run_narrow_layer(factory, feature_shape, x, fmt, seed=0, training=False,
+                      prep=None, grad_of="input"):
+    """Forward+backward a freshly built layer at fp64 and at ``fmt``;
+    returns ``{mode: (out, grad)}`` with both arrays upcast to float64.
+
+    The narrow run also asserts dtype preservation: a float32 input must
+    produce a float32 output and gradient (no silent float64 upcast
+    anywhere in the layer's op chain).
+    """
+    results = {}
+    for mode in ("fp64", fmt):
+        layer = _built(factory(), feature_shape, seed)
+        xi = np.array(x)
+        if mode != "fp64":
+            _cast_layer_f32(layer)
+            if xi.dtype.kind == "f":
+                xi = xi.astype(np.float32)
+        if prep is not None:
+            prep(layer)
+        xt = Tensor(xi, requires_grad=xi.dtype.kind == "f")
+        ctx = autocast("bf16") if mode == "bf16" else nullcontext()
+        with ctx:
+            out = layer.forward(xt, training=training)
+            out.backward(np.ones(out.data.shape, dtype=out.data.dtype))
+        grad = xt.grad if grad_of == "input" else next(iter(layer.parameters())).grad
+        if mode != "fp64":
+            assert out.data.dtype != np.float64, (
+                f"{type(layer).__name__} silently upcast float32 -> float64 (forward)"
+            )
+            assert grad.dtype != np.float64, (
+                f"{type(layer).__name__} silently upcast float32 -> float64 (backward)"
+            )
+        results[mode] = (
+            np.asarray(out.data, dtype=np.float64),
+            np.asarray(grad, dtype=np.float64),
+        )
+    return results
+
+
+def _assert_narrow_close(results, fmt):
+    tol = NARROW_TOL[fmt]
+    out64, g64 = results["fp64"]
+    outn, gn = results[fmt]
+    np.testing.assert_allclose(outn, out64, **tol)
+    np.testing.assert_allclose(gn, g64, **tol)
+
+
+class _FixedUniform:
+    """Stand-in dropout RNG: the same uniforms in any requested dtype.
+
+    ``Generator.random(dtype=float32)`` consumes different bits than the
+    float64 draw, so a seed-frozen generator still yields *different*
+    masks per dtype — this pins the realized mask across the fp64 and
+    narrow runs so their outputs are comparable.
+    """
+
+    def __init__(self, u):
+        self.u = u
+
+    def random(self, shape, dtype=np.float64):
+        assert tuple(shape) == self.u.shape
+        return self.u.astype(dtype)
+
+
+def _narrow_layer_cases():
+    """(id, layer class, factory, feature_shape, x, training, prep, grad_of)."""
+    rng = np.random.default_rng(7)
+    dropout_u = np.random.default_rng(99).random((5, 6))
+    cases = [
+        ("dense_tanh", Dense, lambda: Dense(5, activation="tanh"), (6,),
+         rng.standard_normal((4, 6)), False, None, "input"),
+        ("dropout", Dropout, lambda: Dropout(0.5), (6,),
+         rng.standard_normal((5, 6)), True,
+         lambda layer: setattr(layer, "_rng", _FixedUniform(dropout_u)), "input"),
+        ("flatten", Flatten, Flatten, (4, 2),
+         rng.standard_normal((3, 4, 2)), False, None, "input"),
+        ("batchnorm", BatchNorm, BatchNorm, (5,),
+         rng.standard_normal((6, 5)), True, None, "input"),
+        ("layernorm", layers_mod.LayerNorm, layers_mod.LayerNorm, (6,),
+         rng.standard_normal((4, 6)), False, None, "input"),
+        ("conv1d_tanh", Conv1D,
+         lambda: Conv1D(3, 3, padding="same", activation="tanh"), (2, 8),
+         rng.standard_normal((2, 2, 8)), False, None, "input"),
+        ("conv2d_tanh", Conv2D,
+         lambda: Conv2D(2, 3, padding="same", activation="tanh"), (2, 6, 6),
+         rng.standard_normal((2, 2, 6, 6)), False, None, "input"),
+        ("maxpool1d", MaxPool1D, lambda: MaxPool1D(2), (2, 8),
+         _distinct(rng, (3, 2, 8)), False, None, "input"),
+        ("avgpool1d", AvgPool1D, lambda: AvgPool1D(2), (2, 8),
+         rng.standard_normal((3, 2, 8)), False, None, "input"),
+        ("maxpool2d", MaxPool2D, lambda: MaxPool2D(2), (2, 6, 6),
+         _distinct(rng, (2, 2, 6, 6)), False, None, "input"),
+        ("global_avgpool2d", GlobalAvgPool2D, GlobalAvgPool2D, (3, 4, 4),
+         rng.standard_normal((2, 3, 4, 4)), False, None, "input"),
+        ("embedding", Embedding, lambda: Embedding(7, 4), (3,),
+         rng.integers(0, 7, (2, 3)), False, None, "weight"),
+        ("simple_rnn", SimpleRNN, lambda: SimpleRNN(3), (3, 4),
+         rng.standard_normal((2, 3, 4)), False, None, "input"),
+        ("gru", GRU, lambda: GRU(3), (3, 4),
+         rng.standard_normal((2, 3, 4)), False, None, "input"),
+        ("lstm", LSTM, lambda: LSTM(3), (3, 4),
+         rng.standard_normal((2, 3, 4)), False, None, "input"),
+    ]
+    # Every activation kind, at inputs clear of the relu/leaky/elu kinks
+    # (a bf16 snap moves a value by <0.4%, which cannot cross zero from
+    # |x| >= 0.1).
+    for kind in ("relu", "tanh", "sigmoid", "softmax", "leaky_relu", "elu",
+                 "gelu", "softplus", "linear"):
+        cases.append((
+            f"activation_{kind}", Activation, lambda k=kind: Activation(k), (6,),
+            _away_from_zero(rng, (4, 6), gap=0.1), False, None, "input",
+        ))
+    return cases
+
+
+_NARROW_LAYER_CASES = _narrow_layer_cases()
+
+
+class TestNarrowLayerSweep:
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    @pytest.mark.parametrize(
+        "case", _NARROW_LAYER_CASES, ids=[c[0] for c in _NARROW_LAYER_CASES]
+    )
+    def test_layer_matches_fp64(self, case, fmt):
+        _, cls, factory, feature_shape, x, training, prep, grad_of = case
+        COVERED_NARROW_LAYERS.add(cls)
+        results = _run_narrow_layer(
+            factory, feature_shape, x, fmt, training=training,
+            prep=prep, grad_of=grad_of,
+        )
+        _assert_narrow_close(results, fmt)
+
+
+def _run_narrow_loss(make, x, fmt):
+    """``make(pred_tensor, np_dtype) -> scalar Tensor``, run at fp64 and
+    ``fmt``; returns ``{mode: (loss, grad)}`` upcast to float64."""
+    results = {}
+    for mode in ("fp64", fmt):
+        xi = np.array(x) if mode == "fp64" else np.array(x, dtype=np.float32)
+        xt = Tensor(xi, requires_grad=True)
+        ctx = autocast("bf16") if mode == "bf16" else nullcontext()
+        with ctx:
+            out = make(xt, xi.dtype)
+            out.backward()
+        if mode != "fp64":
+            assert xt.grad.dtype != np.float64, (
+                "loss silently upcast float32 gradients to float64"
+            )
+        results[mode] = (float(out.data), np.asarray(xt.grad, dtype=np.float64))
+    return results
+
+
+def _assert_narrow_loss_close(results, fmt):
+    tol = NARROW_TOL[fmt]
+    loss64, g64 = results["fp64"]
+    lossn, gn = results[fmt]
+    np.testing.assert_allclose(lossn, loss64, **tol)
+    np.testing.assert_allclose(gn, g64, **tol)
+
+
+class TestNarrowLossSweep:
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_mse(self, fmt):
+        COVERED_NARROW_LOSSES.add("mse")
+        rng = np.random.default_rng(3)
+        target = rng.standard_normal((4, 3))
+        pred = rng.standard_normal((4, 3))
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.mse(p, target.astype(dt)), pred, fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_mae(self, fmt):
+        COVERED_NARROW_LOSSES.add("mae")
+        rng = np.random.default_rng(4)
+        target = rng.standard_normal((4, 3))
+        pred = target + _away_from_zero(rng, (4, 3), gap=0.2)
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.mae(p, target.astype(dt)), pred, fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_huber_both_branches(self, fmt):
+        COVERED_NARROW_LOSSES.add("huber")
+        rng = np.random.default_rng(5)
+        target = rng.standard_normal((4, 4))
+        # Residuals pinned well inside (quadratic) and outside (linear)
+        # the |r| = 1 branch switch, alternating across the batch.
+        mag = np.where(np.arange(16).reshape(4, 4) % 2 == 0,
+                       rng.uniform(0.1, 0.5, (4, 4)),
+                       rng.uniform(1.5, 2.5, (4, 4)))
+        pred = target + mag * rng.choice([-1.0, 1.0], (4, 4))
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.huber(p, target.astype(dt)), pred, fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_cross_entropy_fused_and_unfused(self, fmt):
+        COVERED_NARROW_LOSSES.add("cross_entropy")
+        COVERED_NARROW_LOSSES.add("cross_entropy_unfused")
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 4, 5)
+        logits = rng.standard_normal((5, 4))
+        for fn in (losses_mod.cross_entropy, losses_mod.cross_entropy_unfused):
+            res = _run_narrow_loss(lambda p, dt: fn(p, labels), logits, fmt)
+            _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_bce_with_logits(self, fmt):
+        COVERED_NARROW_LOSSES.add("binary_cross_entropy_with_logits")
+        rng = np.random.default_rng(8)
+        labels = rng.integers(0, 2, 6).astype(np.float64)
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.binary_cross_entropy_with_logits(
+                p, labels.astype(dt)),
+            rng.standard_normal(6), fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_focal_loss(self, fmt):
+        COVERED_NARROW_LOSSES.add("focal_loss_with_logits")
+        rng = np.random.default_rng(9)
+        labels = rng.integers(0, 2, 6).astype(np.float64)
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.focal_loss_with_logits(p, labels.astype(dt)),
+            rng.standard_normal(6), fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_kl_divergence_gaussian(self, fmt):
+        COVERED_NARROW_LOSSES.add("kl_divergence_gaussian")
+        rng = np.random.default_rng(10)
+        log_var = rng.standard_normal((4, 3)) * 0.5
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.kl_divergence_gaussian(
+                p, Tensor(log_var.astype(dt))),
+            rng.standard_normal((4, 3)), fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+    @pytest.mark.parametrize("fmt", NARROW_FORMATS)
+    def test_r2_loss(self, fmt):
+        COVERED_NARROW_LOSSES.add("r2_loss")
+        rng = np.random.default_rng(11)
+        target = rng.standard_normal((5, 3)) * 2.0
+        res = _run_narrow_loss(
+            lambda p, dt: losses_mod.r2_loss(p, target.astype(dt)),
+            rng.standard_normal((5, 3)), fmt)
+        _assert_narrow_loss_close(res, fmt)
+
+
+class TestZZNarrowCoverage:
+    """Every public layer and loss must appear in the narrow-format
+    sweep too (defined after the sweep classes, so pytest's file order
+    runs it last)."""
+
+    def test_every_public_layer_in_narrow_sweep(self):
+        missing = _public_layer_classes() - COVERED_NARROW_LAYERS
+        assert not missing, (
+            "layers with no narrow-format sweep case: "
+            + ", ".join(sorted(c.__name__ for c in missing))
+        )
+
+    def test_every_public_loss_in_narrow_sweep(self):
+        missing = _public_losses() - COVERED_NARROW_LOSSES
+        assert not missing, f"losses with no narrow-format case: {sorted(missing)}"

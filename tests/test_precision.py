@@ -141,9 +141,33 @@ class TestInt8Quantization:
         err_pct = np.abs(calibrate(x, "percentile").fake_quantize(bulk) - bulk).mean()
         assert err_pct < err_minmax / 10  # outlier-robust scale is much finer
 
-    def test_zero_tensor(self):
-        qp = calibrate(np.zeros(10))
-        assert np.array_equal(qp.fake_quantize(np.zeros(10)), np.zeros(10))
+    def test_zero_tensor_raises(self):
+        # Any scale for an all-zero tensor is degenerate; callers skip
+        # quantization instead (zeros are representable at every scale).
+        with pytest.raises(ValueError, match="all-zero"):
+            calibrate(np.zeros(10))
+
+    def test_percentile_needs_resolution(self):
+        # 10 elements cannot resolve a 99.9th-percentile tail.
+        with pytest.raises(ValueError, match="resolve"):
+            calibrate(np.ones(10), method="percentile", percentile=99.9)
+        # ...but can resolve a coarse one.
+        qp = calibrate(np.ones(10), method="percentile", percentile=90.0)
+        assert qp.scale > 0
+
+    def test_percentile_zero_amax_raises(self):
+        # >99.9% zeros: the percentile lands on 0 while signal exists.
+        x = np.zeros(100_000)
+        x[0] = 5.0
+        with pytest.raises(ValueError, match="saturate"):
+            calibrate(x, method="percentile", percentile=99.9)
+
+    def test_quantize_weights_passes_zero_arrays_through(self):
+        from repro.precision import quantize_weights
+
+        out = quantize_weights([np.zeros(4), np.ones(4)])
+        assert np.array_equal(out[0], np.zeros(4))
+        assert np.array_equal(out[1], np.ones(4))
 
     def test_empty_raises(self):
         with pytest.raises(ValueError):

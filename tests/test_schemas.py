@@ -1,8 +1,8 @@
 """Schema regression tests for every JSON artifact the repo commits.
 
 Guards against silent format drift: the committed ``BENCH_kernels.json``,
-``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_parallel.json``, and
-``BENCH_serving_scale.json`` must match their declared
+``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_parallel.json``,
+``BENCH_serving_scale.json``, and ``BENCH_precision.json`` must match their declared
 schemas in :mod:`repro.obs.schema`, a freshly recorded trace must pass
 the trace validator, and the validator itself must actually reject the
 malformed shapes it claims to catch (a validator that accepts everything
@@ -22,6 +22,7 @@ from repro.obs import (
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
+    BENCH_PRECISION_SCHEMA,
     BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     TRACE_SCHEMA_VERSION,
@@ -43,6 +44,7 @@ ARTIFACTS = [
     ("BENCH_obs.json", BENCH_OBS_SCHEMA),
     ("BENCH_parallel.json", BENCH_PARALLEL_SCHEMA),
     ("BENCH_serving_scale.json", BENCH_SERVING_SCALE_SCHEMA),
+    ("BENCH_precision.json", BENCH_PRECISION_SCHEMA),
 ]
 
 
@@ -327,3 +329,91 @@ class TestServingScaleSchema:
         doc["replicas_v2"] = {}
         with pytest.raises(SchemaError, match="replicas_v2"):
             validate(doc, BENCH_SERVING_SCALE_SCHEMA)
+
+
+def _minimal_precision_doc():
+    """A smallest-possible BENCH_precision.json (what a smoke run emits)."""
+    row = {"format": "fp64", "step_ms": 2.1, "speedup_vs_fp64": 1.0,
+           "final_loss": 0.02, "loss_dev_vs_fp64": 0.0}
+    return {
+        "meta": {"numpy": "1.26", "smoke": True, "reps": 1, "benchmark": "p1b2"},
+        "train": {
+            "n_samples": 160, "n_features": 200, "batch_size": 32, "epochs": 2,
+            "rows": [
+                row,
+                {"format": "bf16", "step_ms": 1.4, "speedup_vs_fp64": 1.5,
+                 "final_loss": 0.02, "loss_dev_vs_fp64": 0.01, "skipped_steps": 0},
+                {"format": "fp16", "step_ms": 3.0, "speedup_vs_fp64": 0.7,
+                 "final_loss": 0.02, "loss_dev_vs_fp64": 0.01,
+                 "skipped_steps": 1, "final_loss_scale": 32768.0},
+            ],
+            "bf16_vs_emulated_fp32_speedup": 1.6,
+            "bf16_vs_fp32_speedup": 0.8,
+            "bf16_vs_fp64_speedup": 1.5,
+        },
+        "serving": {
+            "n_eval": 40,
+            "auc": {"fp64": 0.99, "fp32": 0.99, "int8": 0.985},
+            "auc_drop_int8_vs_fp32": 0.005,
+            "fp32_single_stream_rps": 9000.0, "fp32_batched_rps": 60000.0,
+            "int8_single_stream_rps": 9500.0, "int8_batched_rps": 68000.0,
+            "served_bit_identical": True,
+            "weight_bytes": {"fp64": 742944, "fp32": 371472, "int8": 94224},
+        },
+        "acceptance": {
+            "bf16_train_speedup": 1.6, "bf16_train_speedup_min": 1.3,
+            "bf16_train_ok": True,
+            "int8_serving_speedup": 7.5, "int8_serving_speedup_min": 2.0,
+            "int8_serving_ok": True,
+            "int8_auc_drop": 0.005, "int8_auc_drop_max": 0.01, "int8_auc_ok": True,
+            "train_parity_ok": True, "served_bit_identical": True,
+            "gates_enforced": False,
+        },
+    }
+
+
+class TestPrecisionSchema:
+    """BENCH_precision.json pinned independently of the committed artifact."""
+
+    def test_minimal_doc_validates(self):
+        validate(_minimal_precision_doc(), BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_missing_serving_gate(self):
+        doc = _minimal_precision_doc()
+        del doc["acceptance"]["int8_serving_ok"]
+        with pytest.raises(SchemaError, match="int8_serving_ok"):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_unknown_train_format(self):
+        doc = _minimal_precision_doc()
+        doc["train"]["rows"][0]["format"] = "fp8"
+        with pytest.raises(SchemaError, match=r"\$\.train\.rows\[0\]\.format"):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_stringified_speedup(self):
+        doc = _minimal_precision_doc()
+        doc["acceptance"]["int8_serving_speedup"] = "7.5"
+        with pytest.raises(SchemaError, match=r"\$\.acceptance\.int8_serving_speedup"):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_negative_throughput_and_bool_bytes(self):
+        doc = _minimal_precision_doc()
+        doc["serving"]["int8_batched_rps"] = -1.0
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+        doc = _minimal_precision_doc()
+        doc["serving"]["weight_bytes"]["int8"] = True
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_dropped_bit_identical_verdict(self):
+        doc = _minimal_precision_doc()
+        del doc["serving"]["served_bit_identical"]
+        with pytest.raises(SchemaError, match="served_bit_identical"):
+            validate(doc, BENCH_PRECISION_SCHEMA)
+
+    def test_rejects_unknown_top_level_section(self):
+        doc = _minimal_precision_doc()
+        doc["quantization_v2"] = {}
+        with pytest.raises(SchemaError, match="quantization_v2"):
+            validate(doc, BENCH_PRECISION_SCHEMA)
