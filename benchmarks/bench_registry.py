@@ -1,0 +1,91 @@
+"""Content-addressed model registry benchmark.
+
+Two entry points over :func:`repro.registry.bench.run_registry_bench`:
+
+* ``pytest benchmarks/bench_registry.py --benchmark-only -s`` — smoke-mode
+  run that prints the registry tables and *gates on correctness*: zero
+  torn reads while a publisher churns versions under concurrent reader
+  processes, store round-trip outputs bit-identical to ``Model.predict``,
+  corrupt blobs refused, warm-cache hit rate over the floor, aliases of
+  identical bytes sharing one resident model, and re-``scan()`` keeping
+  registry loads flat.
+* ``python benchmarks/bench_registry.py [--smoke] [--out PATH]`` — the
+  runner that emits ``BENCH_registry.json``; exits nonzero if any gate
+  fails.  Equivalent to ``python -m repro registry-bench``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import print_experiment  # noqa: E402
+from repro.registry.bench import (  # noqa: E402
+    check_gates,
+    format_results,
+    run_registry_bench,
+    write_results,
+)
+
+
+def test_registry_bench_smoke(benchmark):
+    from repro.registry import ArtifactStore
+    from repro.registry.bench import BENCHMARK, CHURN_HPARAMS, _tiny_model
+
+    results = run_registry_bench(smoke=True)
+    print_experiment("Registry benchmark (smoke churn)", format_results(results))
+
+    failures = check_gates(results, smoke=True)
+    assert not failures, "; ".join(failures)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro_regbench_") as tmp:
+        store = ArtifactStore(tmp, capacity=2, warmup=False)
+        model, _ = _tiny_model(0)
+        param = next(iter(model.parameters()))
+        counter = [0]
+
+        def publish_and_load():
+            counter[0] += 1
+            param.data.flat[0] = float(counter[0])
+            ref = store.publish(model, "bench", BENCHMARK, hparams=CHURN_HPARAMS)
+            return store.get(ref)
+
+        benchmark(publish_and_load)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small churn (CI)")
+    parser.add_argument("--artifacts", type=int, default=None,
+                        help="override churned artifact count")
+    parser.add_argument("--readers", type=int, default=None,
+                        help="override concurrent reader count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_registry.json",
+        help="output JSON path (default: repo-root BENCH_registry.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_registry_bench(
+        smoke=args.smoke, seed=args.seed,
+        n_artifacts=args.artifacts, n_readers=args.readers,
+    )
+    print(format_results(results))
+    out = write_results(results, args.out)
+    print(f"\nwrote {out}")
+
+    failures = check_gates(results, smoke=args.smoke)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,16 @@ from ..datasets import (
 from . import models as M
 
 
+# Per-sample input shapes are a pure function of (generator, seed), but
+# deriving one means generating the full synthetic dataset — hundreds of
+# samples — just to look at x.shape[1:].  Registry loads and checkpoint
+# materialization hit input_shape() far more often than data generation
+# changes, so memoize the derived shape.  Keyed by the generator callable
+# itself (not just the benchmark name) so a spec rebuilt with a different
+# make_data never sees a stale shape.
+_SHAPE_CACHE: Dict[tuple, tuple] = {}
+
+
 @dataclass(frozen=True)
 class BenchmarkSpec:
     """Declarative description of one benchmark."""
@@ -37,9 +47,13 @@ class BenchmarkSpec:
     metric_mode: str  # 'max' or 'min'
 
     def input_shape(self, seed: int = 0) -> tuple:
-        """Per-sample input shape, derived from the data generator."""
-        x, _ = self.make_data(seed=seed)
-        return tuple(np.asarray(x).shape[1:])
+        """Per-sample input shape, derived (once) from the data generator."""
+        key = (self.name, self.make_data, seed)
+        shape = _SHAPE_CACHE.get(key)
+        if shape is None:
+            x, _ = self.make_data(seed=seed)
+            shape = _SHAPE_CACHE[key] = tuple(np.asarray(x).shape[1:])
+        return shape
 
     def materialize(self, input_shape: Optional[tuple] = None, seed: int = 0, **hparams):
         """Build the benchmark model *and* run deferred layer construction.

@@ -19,6 +19,14 @@ Commands
     Validate and summarize a recorded trace: per-span-kind time breakdown,
     critical path, recorder overhead estimate; ``--chrome`` converts it
     to a Chrome trace-event file for chrome://tracing / Perfetto.
+``registry <root> [name[@version]]``
+    Browse a content-addressed model registry: list names and versions,
+    show one artifact's manifest (benchmark, hparams, lineage, hash), or
+    ``--verify`` its stored bytes against the content checksum.
+``registry-bench``
+    Run the artifact-store benchmark — publish/load throughput and warm
+    hit rate under churn with concurrent readers (writes
+    BENCH_registry.json).
 """
 
 from __future__ import annotations
@@ -163,6 +171,63 @@ def _cmd_serve_scale_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    import json
+
+    from .registry import ArtifactStore, CheckpointIntegrityError
+    from .utils import format_table
+
+    store = ArtifactStore(args.root)
+    if args.spec is None:
+        names = store.names()
+        if not names:
+            print(f"{args.root}: empty registry")
+            return 0
+        rows = []
+        for name in names:
+            ref = store.resolve(name)
+            rows.append([
+                name, ref.version, ref.benchmark or "?",
+                ref.content_hash[:12], ref.lineage.get("strategy", ""),
+            ])
+        print(format_table(["name", "latest", "benchmark", "content", "strategy"], rows))
+        return 0
+    try:
+        ref = store.resolve(args.spec)
+    except KeyError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    if args.verify:
+        try:
+            store.verify(ref)
+        except CheckpointIntegrityError as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        print(f"{ref.spec}: ok (sha256:{ref.content_hash})")
+        return 0
+    print(json.dumps(ref.meta or {"content_hash": ref.content_hash},
+                     indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_registry_bench(args: argparse.Namespace) -> int:
+    from .registry.bench import (
+        check_gates, format_results, run_registry_bench, write_results,
+    )
+
+    results = run_registry_bench(
+        smoke=args.smoke, seed=args.seed,
+        n_artifacts=args.artifacts, n_readers=args.readers,
+    )
+    print(format_results(results))
+    out = write_results(results, args.out)
+    print(f"\nwrote {out}")
+    failures = check_gates(results, smoke=args.smoke)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
         SchemaError, format_summary, read_jsonl, summarize_trace,
@@ -228,6 +293,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_scale.add_argument("--seed", type=int, default=0)
     p_scale.add_argument("--out", default="BENCH_serving_scale.json", help="output JSON path")
 
+    p_reg = sub.add_parser("registry", help="browse a model registry directory")
+    p_reg.add_argument("root", help="registry root directory")
+    p_reg.add_argument("spec", nargs="?", default=None,
+                       help="artifact to inspect: name, name@version, or sha256:<hex>")
+    p_reg.add_argument("--verify", action="store_true",
+                       help="check the stored bytes against the content checksum")
+
+    p_regb = sub.add_parser("registry-bench", help="run the artifact-store benchmark")
+    p_regb.add_argument("--smoke", action="store_true", help="small churn (CI)")
+    p_regb.add_argument("--artifacts", type=int, default=None,
+                        help="override churned artifact count")
+    p_regb.add_argument("--readers", type=int, default=None,
+                        help="override concurrent reader count")
+    p_regb.add_argument("--seed", type=int, default=0)
+    p_regb.add_argument("--out", default="BENCH_registry.json", help="output JSON path")
+
     p_trace = sub.add_parser("trace", help="validate and summarize a recorded trace")
     p_trace.add_argument("trace", help="path to a trace .jsonl file")
     p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
@@ -241,6 +322,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "serve-bench": _cmd_serve_bench,
         "serve-scale-bench": _cmd_serve_scale_bench,
+        "registry": _cmd_registry,
+        "registry-bench": _cmd_registry_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

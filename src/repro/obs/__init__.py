@@ -53,6 +53,7 @@ from .schema import (
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
     BENCH_PRECISION_SCHEMA,
+    BENCH_REGISTRY_SCHEMA,
     BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     SchemaError,
@@ -87,4 +88,5 @@ __all__ = [
     "BENCH_OBS_SCHEMA",
     "BENCH_PARALLEL_SCHEMA",
     "BENCH_PRECISION_SCHEMA",
+    "BENCH_REGISTRY_SCHEMA",
 ]

@@ -283,6 +283,41 @@ BENCH_SERVING_SCHEMA = obj(
     },
 )
 
+BENCH_REGISTRY_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {"parity_ok": BOOL, "integrity_ok": BOOL, "churn_zero_torn": BOOL,
+             "hit_rate": NONNEG, "hit_rate_min": NONNEG, "hit_rate_ok": BOOL,
+             "alias_shared": BOOL, "dedup_ok": BOOL,
+             "single_read_speedup": NONNEG, "single_read_speedup_min": NONNEG,
+             "single_read_speedup_ok": BOOL, "scan_loads_flat": BOOL},
+        ),
+        "churn": obj(
+            {"n_artifacts": NONNEG_INT, "n_readers": NONNEG_INT,
+             "publish_elapsed_s": NONNEG, "publishes_per_s": NONNEG,
+             "reader_reads": NONNEG_INT, "reader_errors": NONNEG_INT,
+             "reads_per_s": NONNEG, "last_error": STR, "versions": NONNEG_INT},
+        ),
+        "load": obj(
+            {"reps": NONNEG_INT, "double_read_ms": NONNEG,
+             "single_read_ms": NONNEG, "speedup": NONNEG},
+        ),
+        "cache": obj(
+            {"names": NONNEG_INT, "distinct_contents": NONNEG_INT,
+             "accesses": NONNEG_INT, "hits": NONNEG_INT, "loads": NONNEG_INT,
+             "evictions": NONNEG_INT, "dedup_hits": NONNEG_INT,
+             "hit_rate": NONNEG, "alias_shared": BOOL, "dedup_ok": BOOL,
+             "objects": NONNEG_INT},
+        ),
+        "scan": obj(
+            {"models": NONNEG_INT, "scans": NONNEG_INT, "loads_before": NONNEG_INT,
+             "loads_after": NONNEG_INT, "loads_flat": BOOL},
+        ),
+        "benchmark": STR,
+        "smoke": BOOL,
+    },
+)
+
 _REPLAY_REPORT = {
     "n_requests": NONNEG_INT,
     "elapsed_s": NONNEG,

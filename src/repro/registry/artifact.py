@@ -1,0 +1,315 @@
+"""Self-describing model artifacts: one format, one read.
+
+An *artifact* is the unit the registry stores: every model parameter
+(ordered), plus a JSON header carrying the benchmark name, input shape,
+builder hyperparameters, per-parameter dtypes, optional quantization
+spec, lineage back to the producing campaign/trial, and a SHA-256
+content checksum over the weights.  The same ``.npz`` layout
+:func:`repro.nn.serialization.save_weights` writes — existing serving
+checkpoints load unchanged — but written atomically (temp file +
+``os.replace``) so a crashed publisher can never leave a torn artifact
+where a reader will find it.
+
+The load path is deliberately a **single read**: :func:`open_artifact`
+opens the ``.npz`` once and exposes a lazy :class:`ArtifactReader` —
+the header decodes immediately (cheap), the weight arrays decode at most
+once, on first use, and the integrity checksum is computed from *those
+same decoded arrays* before they are installed into a model.  The old
+serving loader read the file twice (once to verify, once to install);
+callers of :func:`load_artifact` / :func:`build_from_artifact` pay the
+decode exactly once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+
+class CheckpointIntegrityError(RuntimeError):
+    """An artifact failed its integrity check: the file is truncated, an
+    array is corrupt, or the content checksum recorded at publish time no
+    longer matches the weights on disk.  Raised *before* any weights are
+    installed into a model."""
+
+
+class UnsupportedDtypeError(RuntimeError):
+    """An artifact's weights use a dtype the host kernels cannot serve.
+    Raised at load time, before any weights are installed — loading would
+    otherwise silently cast into the model's built dtype and serve
+    different numerics than were published."""
+
+
+#: Weight dtypes the NumPy serving kernels handle natively.  int8
+#: checkpoints are served as fp32 weights *plus* quantization metadata
+#: (the int8 plan is rebuilt from recorded scales), so int8 never appears
+#: as a raw weight dtype here.
+SUPPORTED_SERVING_DTYPES = frozenset({"float64", "float32", "float16"})
+
+
+def weights_checksum(weights: Iterable[np.ndarray]) -> str:
+    """SHA-256 over every weight array's dtype, shape, and raw bytes.
+
+    Order-sensitive by design — swapping two layers' weights is corruption
+    even though the multiset of bytes is unchanged.  This hash is also the
+    registry's *content address*: two publishes of byte-identical weights
+    share one stored object and one warm-cache slot.
+    """
+    h = hashlib.sha256()
+    for w in weights:
+        arr = np.ascontiguousarray(w)
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def check_serving_dtypes(dtypes) -> set:
+    """Refuse weight dtypes the host kernels cannot serve.
+
+    Called before any weight array is decoded or installed; raises
+    :class:`UnsupportedDtypeError`.  Returns the dtype-name set.
+    """
+    dtypes = set(dtypes)
+    unsupported = dtypes - SUPPORTED_SERVING_DTYPES
+    if unsupported:
+        raise UnsupportedDtypeError(
+            f"artifact weight dtype(s) {sorted(unsupported)} are not servable by "
+            f"the host kernels (supported: {sorted(SUPPORTED_SERVING_DTYPES)})"
+        )
+    return dtypes
+
+
+def json_safe(value):
+    """Recursively convert numpy scalars/arrays, tuples, sets, and Paths
+    into plain JSON types (campaign configs carry ``np.int64`` etc.)."""
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def build_artifact_meta(
+    model,
+    benchmark: str,
+    input_shape: tuple,
+    hparams: Optional[Dict] = None,
+    metadata: Optional[Dict] = None,
+    quantization: Optional[Dict] = None,
+    lineage: Optional[Dict] = None,
+) -> Dict:
+    """Assemble the self-describing header for one model artifact.
+
+    ``benchmark`` must name an entry of :data:`repro.candle.registry.REGISTRY`
+    (the loader rebuilds the architecture through its ``build_model``);
+    ``hparams`` are the builder kwargs the weights were trained with;
+    ``lineage`` records where the weights came from (campaign/trial obs
+    span ids, strategy, final metric — whatever the producer knows).
+    """
+    from ..candle.registry import get_benchmark
+
+    get_benchmark(benchmark)  # validate early, not at first request
+    weights = model.get_weights()
+    if quantization is None:
+        plan = getattr(model, "_int8_plan", None)
+        quantization = plan.spec() if plan is not None else None
+    return json_safe({
+        "benchmark": benchmark,
+        "input_shape": list(input_shape),
+        "hparams": hparams or {},
+        "checksum": weights_checksum(weights),
+        "dtypes": [str(w.dtype) for w in weights],
+        "quantization": quantization,
+        "lineage": lineage or {},
+        "extra": metadata or {},
+    })
+
+
+def write_artifact(model, path: Union[str, Path], meta: Dict) -> Path:
+    """Atomically write ``model``'s weights + ``meta`` as an artifact.
+
+    Uses :func:`repro.nn.serialization.atomic_savez` (temp file +
+    ``os.replace``), so concurrent readers see either the previous
+    complete artifact or the new complete one — never a torn write.
+    """
+    from ..nn.serialization import atomic_savez
+
+    weights = model.get_weights()
+    arrays = {f"param_{i:04d}": w for i, w in enumerate(weights)}
+    arrays["_meta"] = np.frombuffer(
+        json.dumps({"n_params": len(weights), "metadata": meta}).encode(), dtype=np.uint8
+    )
+    return atomic_savez(path, arrays)
+
+
+class ArtifactReader:
+    """One open artifact: header decoded, weights decoded lazily, once.
+
+    Obtained from :func:`open_artifact`.  ``meta`` is available
+    immediately (only the tiny ``_meta`` member is decompressed);
+    :meth:`weights` decodes every parameter exactly once and caches the
+    list, verifying the content checksum from those same arrays.
+    """
+
+    def __init__(self, path: Path, npz) -> None:
+        self.path = path
+        self._npz = npz
+        try:
+            self.header = json.loads(bytes(npz["_meta"]).decode())
+            self.meta = self.header.get("metadata", {})
+        except Exception as exc:
+            raise CheckpointIntegrityError(
+                f"{path}: unreadable artifact header ({type(exc).__name__}: {exc}) — "
+                "file is truncated or corrupt; refusing to load"
+            ) from exc
+        if "benchmark" not in self.meta or "input_shape" not in self.meta:
+            raise ValueError(f"{path} is not a serving checkpoint (use publish_model)")
+        self._weights: Optional[List[np.ndarray]] = None
+        self._verified = False
+
+    @property
+    def content_key(self) -> str:
+        """Content address without touching the weight arrays.
+
+        The recorded checksum when present; artifacts published before
+        checksums existed fall back to a (path, size, mtime) signature —
+        still a stable cache key, just not content-shared across copies.
+        """
+        checksum = self.meta.get("checksum")
+        if checksum:
+            return checksum
+        st = self.path.stat()
+        return f"file:{self.path}:{st.st_size}:{st.st_mtime_ns}"
+
+    def weights(self, verify: bool = True) -> List[np.ndarray]:
+        """Decode the weight arrays (once); verify the checksum from them.
+
+        A truncated member, undecodable array, or checksum mismatch
+        raises :class:`CheckpointIntegrityError` — corrupt weights never
+        reach a model.  Artifacts with no recorded checksum skip the
+        comparison (there is nothing to compare against).
+        """
+        if self._weights is None:
+            try:
+                n = self.header["n_params"]
+                self._weights = [self._npz[f"param_{i:04d}"] for i in range(n)]
+            except Exception as exc:
+                raise CheckpointIntegrityError(
+                    f"{self.path}: unreadable weights ({type(exc).__name__}: {exc}) — "
+                    "file is truncated or corrupt; refusing to load"
+                ) from exc
+        if verify and not self._verified and "checksum" in self.meta:
+            actual = weights_checksum(self._weights)
+            if actual != self.meta["checksum"]:
+                raise CheckpointIntegrityError(
+                    f"{self.path}: weight checksum mismatch (expected "
+                    f"{self.meta['checksum'][:16]}…, got {actual[:16]}…) — "
+                    "artifact is corrupt; refusing to load"
+                )
+            self._verified = True
+        return self._weights
+
+    def close(self) -> None:
+        self._npz.close()
+
+
+@contextlib.contextmanager
+def open_artifact(path: Union[str, Path]):
+    """Open an artifact for a single read; yields :class:`ArtifactReader`.
+
+    Exactly one ``np.load`` per artifact access: the caller reads the
+    header (and content key) for free, and decides whether the weights —
+    the expensive part — need decoding at all (warm-cache hits don't).
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        npz = np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # truncated zip, bad central directory…
+        raise CheckpointIntegrityError(
+            f"{path}: unreadable artifact ({type(exc).__name__}: {exc}) — "
+            "file is truncated or corrupt; refusing to load"
+        ) from exc
+    try:
+        reader = ArtifactReader(path, npz)
+    except BaseException:
+        npz.close()
+        raise
+    try:
+        yield reader
+    finally:
+        reader.close()
+
+
+def load_artifact(path: Union[str, Path], verify: bool = True):
+    """Read one artifact in a single pass; returns ``(meta, weights)``.
+
+    The weights come back as in-memory arrays (safe to use after the
+    file is closed); ``verify`` checks the content checksum against the
+    same decoded arrays — there is no second read.
+    """
+    with open_artifact(path) as art:
+        return art.meta, art.weights(verify=verify)
+
+
+def build_from_artifact(
+    meta: Dict,
+    weights: List[np.ndarray],
+    warmup: bool = True,
+    warmup_batch: int = 1,
+):
+    """Materialize a served model from already-read artifact contents.
+
+    Refuses unservable weight dtypes *before* building anything, rebuilds
+    the architecture from :mod:`repro.candle.registry`, casts the built
+    skeleton into the published dtype (so an fp32 artifact is not
+    silently upcast), installs the weights, restores the int8 plan when
+    quantization metadata is present, and optionally runs one throwaway
+    forward so first-request latency excludes lazy buffer allocation.
+    """
+    from ..candle.registry import get_benchmark
+    from ..nn.tensor import no_grad
+
+    dtypes = check_serving_dtypes(meta.get("dtypes") or (str(w.dtype) for w in weights))
+    spec = get_benchmark(meta["benchmark"])
+    model = spec.materialize(input_shape=tuple(meta["input_shape"]), **meta["hparams"])
+    if len(dtypes) == 1:
+        # Serve in the published dtype: materialize builds float64
+        # parameters, and set_weights casts *into* the existing buffers —
+        # without this cast an fp32 artifact would be silently upcast and
+        # served at the wrong precision.
+        model.astype(np.dtype(next(iter(dtypes))))
+    model.set_weights(weights)
+    quant = meta.get("quantization")
+    if quant is not None:
+        # Rebuild the int8 plan from recorded scales: deterministic, so
+        # the served datapath is bit-identical to the published one.
+        from ..precision.int8 import plan_from_spec
+
+        model._int8_plan = plan_from_spec(model, quant)
+    if warmup:
+        # One throwaway forward allocates every layer's scratch and
+        # triggers BLAS thread-pool spin-up off the request path, in the
+        # served dtype (a float64 warmup on an fp32 model would exercise
+        # — and cache-prime — the wrong path).
+        p0 = next(iter(model.parameters()), None)
+        wdtype = p0.data.dtype if p0 is not None else np.float64
+        x = np.zeros((warmup_batch,) + tuple(meta["input_shape"]), dtype=wdtype)
+        with no_grad():
+            model.predict(x, batch_size=warmup_batch)
+    return model

@@ -1,0 +1,398 @@
+"""Registry benchmark library behind ``benchmarks/bench_registry.py`` and
+the ``repro registry-bench`` CLI.
+
+Four measurements over the content-addressed artifact store:
+
+* **churn** — the headline scenario the paper's campaign scale implies:
+  a publisher loops new versions of a model (thousands of artifacts in
+  full mode) while concurrent reader *processes* resolve ``name@latest``
+  and load what they find, checksum-verified.  Zero torn reads is a
+  gate — atomic blob + manifest ordering is what's being certified.
+* **load** — the single-read loader against the old double-read path
+  (verify pass, then a second open to install); the speedup is gated.
+* **cache** — warm hit rate over an alias-heavy access pattern; two
+  names over byte-identical weights must share one resident model.
+* **scan** — a registry re-``scan()`` over an unchanged directory must
+  keep ``loads`` flat (the same-path eviction bug this PR fixes).
+
+Correctness gates ride along: a store round-trip must serve
+*bit-identical* outputs to ``Model.predict`` on the source model, and a
+corrupted blob must be refused before any weights are installed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..candle.registry import get_benchmark
+from .artifact import CheckpointIntegrityError, load_artifact, open_artifact
+from .store import ArtifactStore
+
+BENCHMARK = "p1b2"
+#: Tiny hidden layer for the churn phase: churn measures store mechanics
+#: (publish/resolve/verify under concurrency), not GEMM throughput, and a
+#: ~3k-parameter artifact keeps thousands of publishes cheap.
+CHURN_HPARAMS = {"hidden": (16,)}
+CHURN_NAME = "churn-model"
+
+
+def _tiny_model(seed: int = 0):
+    spec = get_benchmark(BENCHMARK)
+    shape = spec.input_shape(seed=seed)
+    return spec.materialize(input_shape=shape, seed=seed, **CHURN_HPARAMS), shape
+
+
+def _churn_reader(root, name, ready, stop, out_q, capacity: int = 2) -> None:
+    """Reader process body: hammer ``name@latest`` until told to stop.
+
+    Every successful ``get`` is a checksum-verified load of whatever
+    version the manifest pointed at — any torn blob, torn manifest, or
+    half-published version surfaces as an error, and errors are the
+    thing the churn gate counts.
+    """
+    store = ArtifactStore(root, capacity=capacity, warmup=False)
+    ready.set()  # imports done, store attached: the race can start
+    reads = errors = 0
+    last_error = ""
+    while not stop.is_set():
+        try:
+            ref = store.resolve(f"{name}@latest")
+            store.get(ref)
+            reads += 1
+        except KeyError:
+            continue  # publisher hasn't landed version 1 yet
+        except Exception as exc:  # torn read, checksum mismatch, …
+            errors += 1
+            last_error = f"{type(exc).__name__}: {exc}"
+    out_q.put({"reads": reads, "errors": errors, "last_error": last_error})
+
+
+def _bench_churn(root: Path, n_artifacts: int, n_readers: int, seed: int) -> Dict:
+    model, _ = _tiny_model(seed)
+    param = next(iter(model.parameters()))
+    store = ArtifactStore(root, capacity=2, warmup=False)
+
+    ctx = mp.get_context("spawn")
+    stop = ctx.Event()
+    out_q = ctx.Queue()
+    ready = [ctx.Event() for _ in range(n_readers)]
+    readers = [
+        ctx.Process(target=_churn_reader, args=(str(root), CHURN_NAME, ready[i], stop, out_q))
+        for i in range(n_readers)
+    ]
+    for proc in readers:
+        proc.start()
+    # Publishing only starts once every reader is in its loop — spawn
+    # start-up (a fresh interpreter importing the package) is slower than
+    # the whole smoke churn, and an uncontested churn certifies nothing.
+    for ev in ready:
+        if not ev.wait(timeout=120):
+            raise RuntimeError("churn reader failed to start")
+
+    t0 = time.perf_counter()
+    for i in range(n_artifacts):
+        # Perturb one weight so every version is a distinct content hash
+        # (identical bytes would dedup into a single object — a different
+        # phase measures that).
+        param.data.flat[0] = float(i)
+        store.publish(model, CHURN_NAME, BENCHMARK, hparams=CHURN_HPARAMS)
+    publish_elapsed = time.perf_counter() - t0
+
+    stop.set()
+    reports = [out_q.get(timeout=60) for _ in readers]
+    for proc in readers:
+        proc.join(timeout=60)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+    read_elapsed = time.perf_counter() - t0
+
+    reader_reads = sum(r["reads"] for r in reports)
+    reader_errors = sum(r["errors"] for r in reports)
+    return {
+        "n_artifacts": n_artifacts,
+        "n_readers": n_readers,
+        "publish_elapsed_s": publish_elapsed,
+        "publishes_per_s": n_artifacts / publish_elapsed,
+        "reader_reads": reader_reads,
+        "reader_errors": reader_errors,
+        "reads_per_s": reader_reads / read_elapsed,
+        "last_error": next((r["last_error"] for r in reports if r["last_error"]), ""),
+        "versions": store.latest_version(CHURN_NAME),
+    }
+
+
+def _bench_load(workdir: Path, reps: int, seed: int) -> Dict:
+    """Single-read loader vs the old verify-then-reload double read."""
+    spec = get_benchmark(BENCHMARK)
+    shape = spec.input_shape(seed=seed)
+    model = spec.materialize(input_shape=shape, seed=seed)
+    from ..serve.registry import publish_model
+
+    path = publish_model(model, workdir / "load-probe.npz", BENCHMARK, shape)
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        # The pre-fix serving loader: read_checkpoint_meta(verify=True)
+        # decoded every array for the checksum, then load_weights opened
+        # and decoded the file all over again to install.
+        with open_artifact(path) as art:
+            art.weights(verify=True)
+        with open_artifact(path) as art:
+            art.weights(verify=False)
+    double_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        load_artifact(path, verify=True)  # verify and install from one decode
+    single_s = time.perf_counter() - t0
+
+    return {
+        "reps": reps,
+        "double_read_ms": double_s / reps * 1e3,
+        "single_read_ms": single_s / reps * 1e3,
+        "speedup": double_s / single_s,
+    }
+
+
+def _bench_cache(root: Path, rounds: int, seed: int) -> Dict:
+    """Warm hit rate with aliases: 8 names over 4 distinct contents."""
+    model, _ = _tiny_model(seed)
+    param = next(iter(model.parameters()))
+    store = ArtifactStore(root, capacity=4, warmup=False)
+    names = []
+    for i in range(4):
+        param.data.flat[0] = 1000.0 + i
+        for alias in ("a", "b"):  # two aliases of the same bytes
+            name = f"cache-{alias}{i}"
+            store.publish(model, name, BENCHMARK, hparams=CHURN_HPARAMS)
+            names.append(name)
+    accesses = 0
+    for _ in range(rounds):
+        for name in names:
+            store.get(name)
+            accesses += 1
+    stats = store.stats()
+    return {
+        "names": len(names),
+        "distinct_contents": 4,
+        "accesses": accesses,
+        "hits": stats["hits"],
+        "loads": stats["loads"],
+        "evictions": stats["evictions"],
+        "dedup_hits": stats["dedup_hits"],
+        "hit_rate": stats["hits"] / accesses,
+        # 8 names but 4 contents: alias sharing holds iff only 4 loads.
+        "alias_shared": stats["loads"] == 4,
+        "dedup_ok": stats["dedup_hits"] == 4 and stats["objects"] == 4,
+        "objects": stats["objects"],
+    }
+
+
+def _bench_scan(workdir: Path, scans: int, seed: int) -> Dict:
+    """Re-scanning an unchanged directory must not evict warm models."""
+    from ..serve.registry import ModelRegistry, publish_model
+
+    spec = get_benchmark(BENCHMARK)
+    shape = spec.input_shape(seed=seed)
+    scan_dir = workdir / "scan"
+    scan_dir.mkdir()
+    rng = np.random.default_rng(seed)
+    for i in range(3):
+        model = spec.materialize(input_shape=shape, seed=seed, **CHURN_HPARAMS)
+        next(iter(model.parameters())).data.flat[0] = rng.standard_normal()
+        publish_model(model, scan_dir / f"m{i}.npz", BENCHMARK, shape,
+                      hparams=CHURN_HPARAMS)
+    registry = ModelRegistry(capacity=3, warmup=False)
+    registry.scan(scan_dir)
+    for name in registry.names:
+        registry.get(name)
+    loads_before = registry.loads
+    for _ in range(scans):
+        registry.scan(scan_dir)
+        for name in registry.names:
+            registry.get(name)
+    return {
+        "models": 3,
+        "scans": scans,
+        "loads_before": loads_before,
+        "loads_after": registry.loads,
+        "loads_flat": registry.loads == loads_before,
+    }
+
+
+def _check_parity(root: Path, seed: int) -> bool:
+    """Store round-trip must serve bit-identical outputs to the source."""
+    from ..serve import BatchPolicy, InferenceServer
+
+    spec = get_benchmark(BENCHMARK)
+    shape = spec.input_shape(seed=seed)
+    model = spec.materialize(input_shape=shape, seed=seed)
+    store = ArtifactStore(root / "parity", capacity=1, warmup=False)
+    ref = store.publish(model, "parity", BENCHMARK, input_shape=shape)
+    x = np.random.default_rng(seed).standard_normal((64,) + tuple(shape))
+    reference = model.predict(x, batch_size=64)
+    loaded = store.get(ref)
+    if not np.array_equal(loaded.predict(x, batch_size=64), reference):
+        return False
+    server = InferenceServer.from_store(
+        store, "parity@latest", BatchPolicy(max_batch_size=64, max_wait_s=0.0)
+    )
+    handles = [server.submit(x[i]) for i in range(len(x))]
+    server.drain()
+    served = np.stack([h.result for h in handles], axis=0)
+    return bool(np.array_equal(served, reference))
+
+
+def _check_integrity(root: Path, seed: int) -> bool:
+    """A flipped byte in a stored blob must be refused, not installed."""
+    model, shape = _tiny_model(seed)
+    store = ArtifactStore(root / "integrity", capacity=1, warmup=False)
+    ref = store.publish(model, "victim", BENCHMARK, input_shape=shape,
+                        hparams=CHURN_HPARAMS)
+    blob = store.path_for(ref)
+    raw = bytearray(blob.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    blob.write_bytes(bytes(raw))
+    try:
+        store.get(ref)
+    except CheckpointIntegrityError:
+        return True
+    return False
+
+
+def run_registry_bench(
+    smoke: bool = False,
+    seed: int = 0,
+    n_artifacts: Optional[int] = None,
+    n_readers: Optional[int] = None,
+) -> Dict:
+    """Run the full registry benchmark; returns the JSON-ready results.
+
+    ``smoke`` shrinks the churn to CI size and relaxes the timing gates
+    (shared-runner clocks are noisy); the correctness gates — parity,
+    integrity, zero torn reads, flat scan loads, alias sharing — stay
+    exact in both modes.
+    """
+    n_art = n_artifacts or (60 if smoke else 1000)
+    n_read = n_readers or (2 if smoke else 4)
+    load_reps = 5 if smoke else 20
+    cache_rounds = 4 if smoke else 16
+    scans = 3 if smoke else 10
+    hit_rate_min = 0.8
+    speedup_min = 1.1 if smoke else 1.4
+
+    with tempfile.TemporaryDirectory(prefix="repro_registry_bench_") as tmp:
+        workdir = Path(tmp)
+        churn = _bench_churn(workdir / "churn", n_art, n_read, seed)
+        load = _bench_load(workdir, load_reps, seed)
+        cache = _bench_cache(workdir / "cache", cache_rounds, seed)
+        scan = _bench_scan(workdir, scans, seed)
+        parity_ok = _check_parity(workdir, seed)
+        integrity_ok = _check_integrity(workdir, seed)
+
+    return {
+        "benchmark": BENCHMARK,
+        "smoke": smoke,
+        "churn": churn,
+        "load": load,
+        "cache": cache,
+        "scan": scan,
+        "acceptance": {
+            "parity_ok": parity_ok,
+            "integrity_ok": integrity_ok,
+            "churn_zero_torn": bool(
+                churn["reader_errors"] == 0 and churn["reader_reads"] > 0
+            ),
+            "hit_rate": cache["hit_rate"],
+            "hit_rate_min": hit_rate_min,
+            "hit_rate_ok": bool(cache["hit_rate"] >= hit_rate_min),
+            "alias_shared": bool(cache["alias_shared"]),
+            "dedup_ok": bool(cache["dedup_ok"]),
+            "single_read_speedup": load["speedup"],
+            "single_read_speedup_min": speedup_min,
+            "single_read_speedup_ok": bool(load["speedup"] >= speedup_min),
+            "scan_loads_flat": bool(scan["loads_flat"]),
+        },
+    }
+
+
+def check_gates(results: Dict, smoke: bool = False):
+    """Failed-gate messages for one run (empty list = all gates pass)."""
+    acc = results["acceptance"]
+    failures = []
+    if not acc["parity_ok"]:
+        failures.append("store round-trip outputs differ from Model.predict")
+    if not acc["integrity_ok"]:
+        failures.append("corrupt artifact was not refused")
+    if not acc["churn_zero_torn"]:
+        failures.append(
+            f"churn saw {results['churn']['reader_errors']} torn/failed reads "
+            f"({results['churn']['last_error'] or 'no reads completed'})"
+        )
+    if not acc["hit_rate_ok"]:
+        failures.append(
+            f"warm hit rate {acc['hit_rate']:.2f} below gate {acc['hit_rate_min']}"
+        )
+    if not acc["alias_shared"]:
+        failures.append("aliases of identical bytes did not share a resident model")
+    if not acc["dedup_ok"]:
+        failures.append("byte-identical publishes did not dedup into one object")
+    if not acc["scan_loads_flat"]:
+        failures.append(
+            f"re-scan evicted warm models (loads {results['scan']['loads_before']} "
+            f"-> {results['scan']['loads_after']})"
+        )
+    if smoke:
+        # Smoke timing is noise on shared machines; only refuse a single
+        # read that is *slower* than the double read.
+        if acc["single_read_speedup"] <= 1.0:
+            failures.append(
+                f"single-read load slower than double read: "
+                f"{acc['single_read_speedup']:.2f}x"
+            )
+    elif not acc["single_read_speedup_ok"]:
+        failures.append(
+            f"single-read speedup {acc['single_read_speedup']:.2f}x below gate "
+            f"{acc['single_read_speedup_min']}x"
+        )
+    return failures
+
+
+def format_results(results: Dict) -> str:
+    """Human-readable report of one :func:`run_registry_bench` run."""
+    churn, load = results["churn"], results["load"]
+    cache, scan, acc = results["cache"], results["scan"], results["acceptance"]
+    return "\n".join([
+        f"registry bench — {results['benchmark']}, "
+        f"{churn['n_artifacts']} artifacts churned, {churn['n_readers']} readers",
+        "",
+        f"churn:  {churn['publishes_per_s']:>8.1f} publish/s, "
+        f"{churn['reads_per_s']:>8.1f} verified reads/s, "
+        f"{churn['reader_reads']} reads, {churn['reader_errors']} torn "
+        f"({'ok' if acc['churn_zero_torn'] else 'FAIL'})",
+        f"load:   double read {load['double_read_ms']:.2f} ms -> "
+        f"single read {load['single_read_ms']:.2f} ms "
+        f"({acc['single_read_speedup']:.2f}x, gate >= {acc['single_read_speedup_min']}x)",
+        f"cache:  hit rate {acc['hit_rate']:.2f} over {cache['accesses']} gets "
+        f"(gate >= {acc['hit_rate_min']}), {cache['loads']} loads for "
+        f"{cache['names']} names / {cache['distinct_contents']} contents "
+        f"(alias sharing {'ok' if acc['alias_shared'] else 'FAIL'}, "
+        f"dedup {'ok' if acc['dedup_ok'] else 'FAIL'})",
+        f"scan:   loads {scan['loads_before']} -> {scan['loads_after']} across "
+        f"{scan['scans']} re-scans ({'flat' if acc['scan_loads_flat'] else 'FAIL'})",
+        f"parity: {'bit-identical' if acc['parity_ok'] else 'FAIL'}  "
+        f"integrity: {'refused corrupt blob' if acc['integrity_ok'] else 'FAIL'}",
+    ])
+
+
+def write_results(results: Dict, out) -> Path:
+    out = Path(out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return out

@@ -39,7 +39,7 @@ from ..nn.model import Model
 from ..obs.context import get_recorder
 from ..parallel.pool import ProcessWorkerPool, TaskResult
 from ..parallel.shm import SharedArrayStore, attach
-from .registry import read_checkpoint_meta
+from ..registry.artifact import build_from_artifact, load_artifact
 
 # Replica-global state, installed once per worker process by the pool
 # initializer (and re-installed by the initializer of every respawned
@@ -246,17 +246,36 @@ class ReplicaGroup:
         data: Optional[Dict[str, np.ndarray]] = None,
         **kwargs,
     ) -> "ReplicaGroup":
-        """Build a group straight from a published (verified) checkpoint."""
-        from .registry import ModelRegistry
+        """Build a group straight from a published (verified) checkpoint.
 
-        meta = read_checkpoint_meta(path)  # integrity-verified
-        registry = ModelRegistry(capacity=1, warmup=False)
-        registry.register(meta["benchmark"], path)
-        model = registry.get(meta["benchmark"])
+        One read: the artifact is decoded once, its checksum verified
+        from those same arrays, and the parent's reference model built
+        from them (replicas then attach the shared-memory segments the
+        constructor publishes).
+        """
+        meta, weights = load_artifact(path, verify=True)
+        model = build_from_artifact(meta, weights, warmup=False)
         return cls(
             model, meta["benchmark"], tuple(meta["input_shape"]),
             hparams=meta.get("hparams") or {}, n_replicas=n_replicas,
             data=data, **kwargs,
+        )
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        spec: str,
+        n_replicas: int = 2,
+        data: Optional[Dict[str, np.ndarray]] = None,
+        **kwargs,
+    ) -> "ReplicaGroup":
+        """Build a group from a registry artifact (``"name@version"``,
+        ``"name"``/``"name@latest"``, or ``"sha256:<hex>"``) resolved
+        against a :class:`repro.registry.ArtifactStore`."""
+        ref = store.resolve(spec)
+        return cls.from_checkpoint(
+            store.path_for(ref), n_replicas=n_replicas, data=data, **kwargs
         )
 
     # -- dispatch --------------------------------------------------------

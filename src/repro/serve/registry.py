@@ -1,69 +1,55 @@
-"""Model registry: checkpoint-backed model loading with an LRU cache.
+"""Serving-side registry API, backed by :mod:`repro.registry`.
 
-A screening campaign serves many models (one per benchmark, per
-hyperparameter winner, per data release) from a shared checkpoint
-directory, but device memory holds only a few at once.  The registry
-maps ``name -> checkpoint`` and materializes models on demand:
+This module keeps the serving layer's historical surface —
+:func:`publish_model`, :func:`read_checkpoint_meta`, and the
+path-catalog :class:`ModelRegistry` — but every mechanism now lives in
+the unified content-addressed registry package:
 
-* :func:`publish_model` writes a *self-describing* checkpoint — weights
-  plus the benchmark name, hyperparameters, and input shape — via
-  :func:`repro.nn.serialization.save_weights`;
-* :class:`ModelRegistry.get` rebuilds the architecture from
-  :mod:`repro.candle.registry`, restores the weights, runs a warm-up
-  forward pass (so first-request latency excludes lazy buffer
-  allocation), and caches the built model under an LRU policy.
+* :func:`publish_model` writes a *self-describing* artifact — weights
+  plus benchmark name, hyperparameters, input shape, dtype/quantization
+  metadata, lineage, and a SHA-256 content checksum — **atomically**
+  (temp file + rename, via :func:`repro.registry.write_artifact`);
+* :class:`ModelRegistry.get` loads through the content-keyed
+  :class:`repro.registry.WarmModelCache` in a **single read**: one
+  ``np.load`` per get, checksum verified from the same decoded arrays
+  that are installed, and a warm hit never decodes weights at all.
+  Two names pointing at byte-identical checkpoints share one resident
+  model.
+
+For versioned ``name@version`` aliases, lineage queries, and pluggable
+(S3-shaped) backends, use :class:`repro.registry.ArtifactStore`
+directly; this class remains the light path-based catalog the serving
+benches and tests script against.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Optional, Union
 
-import numpy as np
-
-from ..candle.registry import get_benchmark
 from ..nn.model import Model
-from ..nn.serialization import load_weights, save_weights
-from ..nn.tensor import no_grad
+from ..registry.artifact import (
+    SUPPORTED_SERVING_DTYPES,
+    CheckpointIntegrityError,
+    UnsupportedDtypeError,
+    build_artifact_meta,
+    build_from_artifact,
+    check_serving_dtypes,
+    open_artifact,
+    weights_checksum,
+    write_artifact,
+)
+from ..registry.cache import WarmModelCache
 
-
-class CheckpointIntegrityError(RuntimeError):
-    """A serving checkpoint failed its integrity check: the file is
-    truncated, an array is corrupt, or the content checksum recorded at
-    publish time no longer matches the weights on disk.  Raised *before*
-    any weights are installed into a model."""
-
-
-class UnsupportedDtypeError(RuntimeError):
-    """A checkpoint's weights use a dtype the host kernels cannot serve.
-    Raised at load time, before any weights are installed — loading would
-    otherwise silently cast into the model's built dtype and serve
-    different numerics than were published."""
-
-
-#: Weight dtypes the NumPy serving kernels handle natively.  int8
-#: checkpoints are served as fp32 weights *plus* quantization metadata
-#: (the int8 plan is rebuilt from recorded scales), so int8 never appears
-#: as a raw weight dtype here.
-SUPPORTED_SERVING_DTYPES = frozenset({"float64", "float32", "float16"})
-
-
-def weights_checksum(weights: Iterable[np.ndarray]) -> str:
-    """SHA-256 over every weight array's dtype, shape, and raw bytes.
-
-    Order-sensitive by design — swapping two layers' weights is corruption
-    even though the multiset of bytes is unchanged.
-    """
-    h = hashlib.sha256()
-    for w in weights:
-        arr = np.ascontiguousarray(w)
-        h.update(str(arr.dtype).encode())
-        h.update(repr(arr.shape).encode())
-        h.update(arr.tobytes())
-    return h.hexdigest()
+__all__ = [
+    "SUPPORTED_SERVING_DTYPES",
+    "CheckpointIntegrityError",
+    "UnsupportedDtypeError",
+    "ModelRegistry",
+    "publish_model",
+    "read_checkpoint_meta",
+    "weights_checksum",
+]
 
 
 def publish_model(
@@ -74,6 +60,7 @@ def publish_model(
     hparams: Optional[Dict] = None,
     metadata: Optional[Dict] = None,
     quantization: Optional[Dict] = None,
+    lineage: Optional[Dict] = None,
 ) -> Path:
     """Write a serving checkpoint that the registry can load by itself.
 
@@ -82,106 +69,106 @@ def publish_model(
     ``hparams`` are the builder kwargs the weights were trained with.
 
     The checkpoint records each parameter's dtype next to the content
-    checksum, and — when the model carries a calibrated int8 plan (see
+    checksum, optional ``lineage`` (campaign/trial span ids), and — when
+    the model carries a calibrated int8 plan (see
     :meth:`repro.nn.Model.quantize_int8`) or ``quantization`` is passed
-    explicitly — the quantization spec (per-layer scales + calibration
-    method), so a loader can rebuild the exact int8 datapath.
+    explicitly — the quantization spec, so a loader can rebuild the
+    exact int8 datapath.  The write is atomic: a crash mid-publish never
+    leaves a torn checkpoint where a reader will find it.
     """
-    get_benchmark(benchmark)  # validate early, not at first request
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    weights = model.get_weights()
-    if quantization is None:
-        plan = getattr(model, "_int8_plan", None)
-        quantization = plan.spec() if plan is not None else None
-    meta = {
-        "benchmark": benchmark,
-        "input_shape": list(input_shape),
-        "hparams": hparams or {},
-        "checksum": weights_checksum(weights),
-        "dtypes": [str(w.dtype) for w in weights],
-        "quantization": quantization,
-        "extra": metadata or {},
-    }
-    save_weights(model, path, metadata=meta)
-    return path
+    meta = build_artifact_meta(
+        model, benchmark, tuple(input_shape), hparams=hparams,
+        metadata=metadata, quantization=quantization, lineage=lineage,
+    )
+    return write_artifact(model, path, meta)
 
 
 def read_checkpoint_meta(path: Union[str, Path], verify: bool = True) -> Dict:
     """Read the serving metadata from a published checkpoint.
 
-    With ``verify`` (the default) the weight arrays are also read back
+    With ``verify`` (the default) the weight arrays are decoded — once —
     and their SHA-256 compared against the checksum recorded at publish
     time; a truncated file, undecodable array, or checksum mismatch
     raises :class:`CheckpointIntegrityError` instead of letting corrupt
     weights reach a model.  Checkpoints published before checksums
     existed (no ``checksum`` field) skip the comparison.
     """
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    try:
-        with np.load(path) as data:
-            header = json.loads(bytes(data["_meta"]).decode())
-            meta = header.get("metadata", {})
-            if "benchmark" not in meta or "input_shape" not in meta:
-                raise ValueError(
-                    f"{path} is not a serving checkpoint (use publish_model)"
-                )
-            if verify and "checksum" in meta:
-                n = header["n_params"]
-                actual = weights_checksum(data[f"param_{i:04d}"] for i in range(n))
-                if actual != meta["checksum"]:
-                    raise CheckpointIntegrityError(
-                        f"{path}: weight checksum mismatch (expected "
-                        f"{meta['checksum'][:16]}…, got {actual[:16]}…) — "
-                        "checkpoint is corrupt; refusing to load"
-                    )
-    except (CheckpointIntegrityError, ValueError):
-        raise
-    except FileNotFoundError:
-        raise
-    except Exception as exc:  # truncated zip, bad zlib stream, missing _meta…
-        raise CheckpointIntegrityError(
-            f"{path}: unreadable checkpoint ({type(exc).__name__}: {exc}) — "
-            "file is truncated or corrupt; refusing to load"
-        ) from exc
-    return meta
+    with open_artifact(path) as art:
+        if verify:
+            art.weights(verify=True)
+        return art.meta
+
+
+class _Entry:
+    """One catalog binding: name -> path, with change detection."""
+
+    __slots__ = ("path", "sig", "key")
+
+    def __init__(self, path: Path, sig: tuple) -> None:
+        self.path = path
+        self.sig = sig  # (st_size, st_mtime_ns): cheap did-it-change probe
+        self.key = None  # content hash, learned on first get
 
 
 class ModelRegistry:
-    """Name -> built model, loaded from checkpoints, LRU-cached.
+    """Name -> built model, loaded from checkpoints, warm-cached.
 
     ``capacity`` bounds how many built models stay resident; getting an
     uncached model beyond capacity evicts the least-recently-used one
     (its weights reload from disk on next use — the checkpoint is the
-    source of truth, eviction loses nothing).
+    source of truth, eviction loses nothing).  The cache is keyed by
+    *content hash*, so two names over byte-identical checkpoints share
+    one resident model; pass ``cache=`` to pool residency with other
+    registries or an :class:`repro.registry.ArtifactStore`.
     """
 
-    def __init__(self, capacity: int = 2, warmup: bool = True, warmup_batch: int = 1) -> None:
+    def __init__(
+        self,
+        capacity: int = 2,
+        warmup: bool = True,
+        warmup_batch: int = 1,
+        cache: Optional[WarmModelCache] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.warmup = warmup
         self.warmup_batch = warmup_batch
-        self._paths: Dict[str, Path] = {}
-        self._cache: "OrderedDict[str, Model]" = OrderedDict()
+        self._entries: Dict[str, _Entry] = {}
+        # Not `cache or ...`: an empty shared cache is falsy (len 0) and
+        # would be silently replaced with a private one.
+        self._cache = cache if cache is not None else WarmModelCache(capacity)
         self.loads = 0
         self.hits = 0
         self.evictions = 0
 
     # -- catalog ---------------------------------------------------------
     def register(self, name: str, path: Union[str, Path]) -> None:
-        """Add (or repoint) a served model name to a checkpoint path."""
+        """Add (or repoint) a served model name to a checkpoint path.
+
+        Re-registering the *same, unchanged* file is a no-op: a periodic
+        ``scan()`` over a stable directory must not evict warm models
+        (steady-state serving would otherwise re-load and re-warm on
+        every scan).  Only an actual change — different path, or the
+        same path rewritten (size/mtime moved) — invalidates the cached
+        build of the old weights.
+        """
         path = Path(path)
         if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
             path = path.with_suffix(path.suffix + ".npz")
         if not path.exists():
             raise FileNotFoundError(path)
-        self._paths[name] = path
-        # A repoint invalidates any cached build of the old weights.
-        self._cache.pop(name, None)
+        st = path.stat()
+        sig = (st.st_size, st.st_mtime_ns)
+        old = self._entries.get(name)
+        if old is not None and old.path == path and old.sig == sig:
+            return  # unchanged: keep the warm model resident
+        self._entries[name] = _Entry(path, sig)
+        if old is not None and old.key is not None:
+            # Drop the stale build unless another name still serves it.
+            shared = any(e.key == old.key for e in self._entries.values())
+            if not shared:
+                self._cache.pop(old.key)
 
     def scan(self, root: Union[str, Path]) -> int:
         """Register every ``*.npz`` under ``root`` by file stem."""
@@ -193,72 +180,47 @@ class ModelRegistry:
 
     @property
     def names(self):
-        return sorted(self._paths)
+        return sorted(self._entries)
 
     @property
     def resident(self):
-        return list(self._cache)
+        """Registered names whose built model is currently warm."""
+        return [name for name, e in self._entries.items()
+                if e.key is not None and e.key in self._cache]
 
     # -- loading ---------------------------------------------------------
     def get(self, name: str) -> Model:
-        """Return the built model for ``name``, loading it if needed."""
-        if name in self._cache:
-            self.hits += 1
-            self._cache.move_to_end(name)
-            return self._cache[name]
-        if name not in self._paths:
+        """Return the built model for ``name``, loading it if needed.
+
+        Exactly one ``np.load`` per call: the artifact header yields the
+        content hash (cheap — no weight decode); a warm hit returns the
+        resident model without touching the arrays, and a cold load
+        verifies and installs from one decode.
+        """
+        if name not in self._entries:
             raise KeyError(f"unknown model {name!r}; registered: {self.names}")
-        model = self._load(self._paths[name])
-        self._cache[name] = model
-        self._cache.move_to_end(name)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-            self.evictions += 1
-        return model
-
-    def _load(self, path: Path) -> Model:
-        meta = read_checkpoint_meta(path)
-        dtypes = set(meta.get("dtypes", ()))
-        unsupported = dtypes - SUPPORTED_SERVING_DTYPES
-        if unsupported:
-            raise UnsupportedDtypeError(
-                f"{path}: checkpoint weight dtype(s) {sorted(unsupported)} are not "
-                f"servable by the host kernels (supported: "
-                f"{sorted(SUPPORTED_SERVING_DTYPES)})"
-            )
-        spec = get_benchmark(meta["benchmark"])
-        model = spec.materialize(input_shape=tuple(meta["input_shape"]), **meta["hparams"])
-        if len(dtypes) == 1:
-            # Serve in the published dtype: materialize builds float64
-            # parameters, and set_weights casts *into* the existing
-            # buffers — without this cast an fp32 checkpoint would be
-            # silently upcast and served at the wrong precision.
-            model.astype(np.dtype(next(iter(dtypes))))
-        load_weights(model, path)
-        quant = meta.get("quantization")
-        if quant is not None:
-            # Rebuild the int8 plan from recorded scales: deterministic,
-            # so the served datapath is bit-identical to the published one.
-            from ..precision.int8 import plan_from_spec
-
-            model._int8_plan = plan_from_spec(model, quant)
-        if self.warmup:
-            # One throwaway forward allocates every layer's scratch and
-            # triggers BLAS thread-pool spin-up off the request path.
-            # Warm up in the served dtype — a float64 warmup batch on an
-            # fp32 model would exercise (and cache-prime) the wrong path.
-            p0 = next(iter(model.parameters()), None)
-            wdtype = p0.data.dtype if p0 is not None else np.float64
-            x = np.zeros((self.warmup_batch,) + tuple(meta["input_shape"]), dtype=wdtype)
-            with no_grad():
-                model.predict(x, batch_size=self.warmup_batch)
+        entry = self._entries[name]
+        with open_artifact(entry.path) as art:
+            entry.key = art.content_key
+            model = self._cache.get(entry.key)
+            if model is not None:
+                self.hits += 1
+                return model
+            meta = art.meta
+            if meta.get("dtypes"):
+                check_serving_dtypes(meta["dtypes"])  # refuse before decoding
+            weights = art.weights(verify=True)
+        model = build_from_artifact(
+            meta, weights, warmup=self.warmup, warmup_batch=self.warmup_batch
+        )
         self.loads += 1
+        self.evictions += self._cache.put(entry.key, model)
         return model
 
     def stats(self) -> Dict[str, int]:
         return {
-            "registered": len(self._paths),
-            "resident": len(self._cache),
+            "registered": len(self._entries),
+            "resident": len(self.resident),
             "loads": self.loads,
             "hits": self.hits,
             "evictions": self.evictions,

@@ -85,6 +85,27 @@ class InferenceServer:
         self.stats = ServingStats()
         self._next_id = 0
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        spec: str,
+        policy: Optional[BatchPolicy] = None,
+        **kwargs,
+    ) -> "InferenceServer":
+        """Serve a registry artifact: resolve ``spec`` (``"name@version"``,
+        ``"name"``/``"name@latest"``, or ``"sha256:<hex>"``) against a
+        :class:`repro.registry.ArtifactStore` and front the warm-cached
+        model.  When the artifact carries quantization metadata and no
+        explicit ``precision`` is passed, the server defaults to the int8
+        datapath the artifact was published for.
+        """
+        ref = store.resolve(spec)
+        model = store.get(ref)
+        if "precision" not in kwargs and ref.meta.get("quantization") is not None:
+            kwargs["precision"] = "int8"
+        return cls(model, policy=policy, **kwargs)
+
     # -- request ingress -------------------------------------------------
     def submit(self, x: np.ndarray, now: Optional[float] = None) -> Request:
         """Queue one sample; returns its handle (possibly already shed).

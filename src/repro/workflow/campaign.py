@@ -55,6 +55,9 @@ class CampaignReport:
     final_train_time: float  # simulated seconds
     total_energy: float  # joules (final training)
     resilience: Optional[ResilienceReport] = None
+    #: Set when the campaign ran with ``publish_to=``: the registry
+    #: reference (``name@version`` + content hash) of the final model.
+    published: Optional[object] = None
 
     def summary(self) -> str:
         try:
@@ -92,6 +95,8 @@ def run_campaign(
     max_retries: int = 3,
     retry_backoff: float = 0.0,
     checkpoint_dir=None,
+    publish_to=None,
+    model_name: Optional[str] = None,
 ) -> CampaignReport:
     """Run search + final training for one registry benchmark.
 
@@ -107,6 +112,14 @@ def run_campaign(
     ``resilience`` field says what it survived.  (Reduced-precision
     final training keeps its policy loop and only the search is
     fault-injected — the resilient fit loop is fp32.)
+
+    ``publish_to`` (a :class:`repro.registry.ArtifactStore`) publishes
+    the final trained model into the registry as ``model_name``
+    (default: the benchmark name) with lineage back to this campaign —
+    the campaign's obs span id, strategy, winning config, and final
+    metric travel with the artifact, so a served model can always answer
+    "which campaign produced you".  The report's ``published`` field
+    carries the resulting :class:`repro.registry.ArtifactRef`.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -215,6 +228,29 @@ def run_campaign(
                 final_metric=float(final_metric), metric=spec.metric,
             )
 
+        # -- 5. publish ------------------------------------------------------
+        published = None
+        if publish_to is not None:
+            with maybe_span(rec, "publish", "campaign.publish"):
+                published = publish_to.publish(
+                    model,
+                    name=model_name or spec.name,
+                    benchmark=spec.name,
+                    input_shape=tuple(np.asarray(x_va).shape[1:]),
+                    hparams=cfg,
+                    lineage={
+                        "campaign_span": campaign_span["id"] if campaign_span else None,
+                        "strategy": strategy,
+                        "best_config": dict(best),
+                        "final_metric": float(final_metric),
+                        "metric": spec.metric,
+                        "precision": precision,
+                        "seed": seed,
+                    },
+                )
+            if campaign_span is not None:
+                campaign_span["attrs"]["published"] = published.spec
+
     return CampaignReport(
         benchmark=spec.name,
         strategy=strategy,
@@ -226,4 +262,5 @@ def run_campaign(
         final_train_time=train_time,
         total_energy=energy,
         resilience=resilience,
+        published=published,
     )

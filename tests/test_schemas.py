@@ -2,7 +2,8 @@
 
 Guards against silent format drift: the committed ``BENCH_kernels.json``,
 ``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_parallel.json``,
-``BENCH_serving_scale.json``, and ``BENCH_precision.json`` must match their declared
+``BENCH_serving_scale.json``, ``BENCH_precision.json``, and
+``BENCH_registry.json`` must match their declared
 schemas in :mod:`repro.obs.schema`, a freshly recorded trace must pass
 the trace validator, and the validator itself must actually reject the
 malformed shapes it claims to catch (a validator that accepts everything
@@ -23,6 +24,7 @@ from repro.obs import (
     BENCH_OBS_SCHEMA,
     BENCH_PARALLEL_SCHEMA,
     BENCH_PRECISION_SCHEMA,
+    BENCH_REGISTRY_SCHEMA,
     BENCH_SERVING_SCALE_SCHEMA,
     BENCH_SERVING_SCHEMA,
     TRACE_SCHEMA_VERSION,
@@ -45,6 +47,7 @@ ARTIFACTS = [
     ("BENCH_parallel.json", BENCH_PARALLEL_SCHEMA),
     ("BENCH_serving_scale.json", BENCH_SERVING_SCALE_SCHEMA),
     ("BENCH_precision.json", BENCH_PRECISION_SCHEMA),
+    ("BENCH_registry.json", BENCH_REGISTRY_SCHEMA),
 ]
 
 
@@ -417,3 +420,73 @@ class TestPrecisionSchema:
         doc["quantization_v2"] = {}
         with pytest.raises(SchemaError, match="quantization_v2"):
             validate(doc, BENCH_PRECISION_SCHEMA)
+
+
+def _minimal_registry_doc():
+    """A smallest-possible BENCH_registry.json (what a smoke run emits)."""
+    return {
+        "benchmark": "p1b2",
+        "smoke": True,
+        "churn": {
+            "n_artifacts": 60, "n_readers": 2, "publish_elapsed_s": 0.4,
+            "publishes_per_s": 150.0, "reader_reads": 900, "reader_errors": 0,
+            "reads_per_s": 1500.0, "last_error": "", "versions": 60,
+        },
+        "load": {
+            "reps": 5, "double_read_ms": 3.5, "single_read_ms": 2.1,
+            "speedup": 1.67,
+        },
+        "cache": {
+            "names": 8, "distinct_contents": 4, "accesses": 32, "hits": 28,
+            "loads": 4, "evictions": 0, "dedup_hits": 4, "hit_rate": 0.875,
+            "alias_shared": True, "dedup_ok": True, "objects": 4,
+        },
+        "scan": {
+            "models": 3, "scans": 3, "loads_before": 3, "loads_after": 3,
+            "loads_flat": True,
+        },
+        "acceptance": {
+            "parity_ok": True, "integrity_ok": True, "churn_zero_torn": True,
+            "hit_rate": 0.875, "hit_rate_min": 0.8, "hit_rate_ok": True,
+            "alias_shared": True, "dedup_ok": True,
+            "single_read_speedup": 1.67, "single_read_speedup_min": 1.1,
+            "single_read_speedup_ok": True, "scan_loads_flat": True,
+        },
+    }
+
+
+class TestRegistrySchema:
+    """BENCH_registry.json pinned independently of the committed artifact."""
+
+    def test_minimal_doc_validates(self):
+        validate(_minimal_registry_doc(), BENCH_REGISTRY_SCHEMA)
+
+    def test_rejects_missing_churn_gate(self):
+        doc = _minimal_registry_doc()
+        del doc["acceptance"]["churn_zero_torn"]
+        with pytest.raises(SchemaError, match="churn_zero_torn"):
+            validate(doc, BENCH_REGISTRY_SCHEMA)
+
+    def test_rejects_stringified_speedup(self):
+        doc = _minimal_registry_doc()
+        doc["acceptance"]["single_read_speedup"] = "1.67"
+        with pytest.raises(SchemaError, match=r"\$\.acceptance\.single_read_speedup"):
+            validate(doc, BENCH_REGISTRY_SCHEMA)
+
+    def test_rejects_negative_reader_errors(self):
+        doc = _minimal_registry_doc()
+        doc["churn"]["reader_errors"] = -1
+        with pytest.raises(SchemaError):
+            validate(doc, BENCH_REGISTRY_SCHEMA)
+
+    def test_rejects_dropped_scan_section(self):
+        doc = _minimal_registry_doc()
+        del doc["scan"]
+        with pytest.raises(SchemaError, match="scan"):
+            validate(doc, BENCH_REGISTRY_SCHEMA)
+
+    def test_rejects_unknown_top_level_section(self):
+        doc = _minimal_registry_doc()
+        doc["gc_v2"] = {}
+        with pytest.raises(SchemaError, match="gc_v2"):
+            validate(doc, BENCH_REGISTRY_SCHEMA)
