@@ -1,0 +1,90 @@
+"""Durable elastic HPO benchmark: 10^4-trial campaigns over the on-disk queue.
+
+Two entry points over :func:`repro.hpo.scale_bench.run_hpo_scale_bench`:
+
+* ``pytest benchmarks/bench_hpo_scale.py --benchmark-only -s`` — smoke-mode
+  run that prints the campaign tables and *gates on correctness*: zero
+  lost and zero duplicated completions through seeded consumer kills and
+  a driver kill/resume, the resumed ``ResultLog`` bit-identical to the
+  uninterrupted run, and ASHA's time-to-target no worse than synchronous
+  halving at equal worker count.  The <5% scheduler-overhead gate is
+  informational in smoke mode (CI clocks are noisy) and enforced on the
+  full run.
+* ``python benchmarks/bench_hpo_scale.py [--smoke] [--out PATH]`` — the
+  runner that emits ``BENCH_hpo_scale.json``; exits nonzero if any gate
+  fails.  Equivalent to ``python -m repro hpo-scale-bench``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import print_experiment  # noqa: E402
+from repro.hpo.scale_bench import (  # noqa: E402
+    check_gates,
+    format_results,
+    run_hpo_scale_bench,
+    write_results,
+)
+
+
+def test_hpo_scale_bench_smoke(benchmark):
+    import tempfile
+
+    from repro.hpo import ASHA, DurableTrialQueue, candle_mlp_space, run_elastic
+    from repro.hpo.scale_bench import _budget_cost, _surrogate
+
+    results = run_hpo_scale_bench(smoke=True)
+    print_experiment("HPO scale benchmark (smoke)", format_results(results))
+
+    failures = check_gates(results, smoke=True)
+    assert not failures, "; ".join(failures)
+
+    # Microbenchmark: one short durable ASHA campaign per round.
+    space = candle_mlp_space()
+    objective = _surrogate(space, seed=0)
+    counter = [0]
+
+    with tempfile.TemporaryDirectory(prefix="repro_hposcale_") as tmp:
+
+        def durable_campaign():
+            counter[0] += 1
+            path = Path(tmp) / f"bench{counter[0]}.db"
+            with DurableTrialQueue(path, lease_s=1e9, fast=True) as q:
+                return run_elastic(
+                    ASHA(space, seed=counter[0]), objective, 32, q,
+                    n_workers=8, cost_model=_budget_cost,
+                )
+
+        benchmark(durable_campaign)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small trial counts (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_hpo_scale.json",
+        help="output JSON path (default: repo-root BENCH_hpo_scale.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_hpo_scale_bench(smoke=args.smoke, seed=args.seed)
+    print(format_results(results))
+    out = write_results(results, args.out)
+    print(f"\nwrote {out}")
+
+    failures = check_gates(results, smoke=args.smoke)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,11 @@ Commands
     Run the artifact-store benchmark — publish/load throughput and warm
     hit rate under churn with concurrent readers (writes
     BENCH_registry.json).
+``hpo-scale-bench``
+    Run the durable elastic HPO benchmark — 10k sim-clock + 1k real-clock
+    trials through the on-disk trial queue, scheduler overhead, seeded
+    kill/resume replay, ASHA vs synchronous halving (writes
+    BENCH_hpo_scale.json).
 """
 
 from __future__ import annotations
@@ -228,6 +233,21 @@ def _cmd_registry_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_hpo_scale_bench(args: argparse.Namespace) -> int:
+    from .hpo.scale_bench import (
+        check_gates, format_results, run_hpo_scale_bench, write_results,
+    )
+
+    results = run_hpo_scale_bench(smoke=args.smoke, seed=args.seed)
+    print(format_results(results))
+    out = write_results(results, args.out)
+    print(f"\nwrote {out}")
+    failures = check_gates(results, smoke=args.smoke)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
         SchemaError, format_summary, read_jsonl, summarize_trace,
@@ -309,6 +329,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_regb.add_argument("--seed", type=int, default=0)
     p_regb.add_argument("--out", default="BENCH_registry.json", help="output JSON path")
 
+    p_hpob = sub.add_parser("hpo-scale-bench",
+                            help="run the durable elastic HPO benchmark")
+    p_hpob.add_argument("--smoke", action="store_true", help="small trial counts (CI)")
+    p_hpob.add_argument("--seed", type=int, default=0)
+    p_hpob.add_argument("--out", default="BENCH_hpo_scale.json", help="output JSON path")
+
     p_trace = sub.add_parser("trace", help="validate and summarize a recorded trace")
     p_trace.add_argument("trace", help="path to a trace .jsonl file")
     p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
@@ -324,6 +350,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-scale-bench": _cmd_serve_scale_bench,
         "registry": _cmd_registry,
         "registry-bench": _cmd_registry_bench,
+        "hpo-scale-bench": _cmd_hpo_scale_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

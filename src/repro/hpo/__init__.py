@@ -3,11 +3,14 @@ typed search spaces, seven strategies, and sequential + simulated-parallel
 schedulers."""
 
 from .analysis import Comparison, aggregate_trajectories, bootstrap_compare, rank_strategies
+from .elastic import KillPlan, WorkerPlan, run_elastic
 from .objectives import SurrogateLandscape, benchmark_objective
+from .queue import DurableTrialQueue
 from .results import ResultLog, Trial
 from .scheduler import constant_cost, run_parallel, run_sequential
 from .space import Categorical, Config, Dimension, Float, Int, SearchSpace, candle_mlp_space
 from .strategies import (
+    ASHA,
     STRATEGIES,
     LatinHypercubeSearch,
     MedianStoppingWrapper,
@@ -31,10 +34,11 @@ __all__ = [
     "candle_mlp_space",
     "ResultLog", "Trial",
     "run_sequential", "run_parallel", "constant_cost",
+    "run_elastic", "KillPlan", "WorkerPlan", "DurableTrialQueue",
     "SurrogateLandscape", "benchmark_objective",
     "aggregate_trajectories", "bootstrap_compare", "Comparison", "rank_strategies",
     "Strategy", "Suggestion", "STRATEGIES",
-    "RandomSearch", "GridSearch", "SuccessiveHalving", "Hyperband",
+    "RandomSearch", "GridSearch", "SuccessiveHalving", "Hyperband", "ASHA",
     "EvolutionarySearch", "BayesianSearch", "GaussianProcess",
     "expected_improvement", "GenerativeSearch", "ConfigVAE",
     "LatinHypercubeSearch", "MedianStoppingWrapper", "PopulationBasedTraining",

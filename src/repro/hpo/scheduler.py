@@ -109,8 +109,16 @@ def run_parallel(
     injector: Optional[FaultInjector] = None,
     retry_backoff: float = 0.0,
     executor=None,
+    queue=None,
 ) -> ResultLog:
     """Run the search on ``n_workers`` simulated workers.
+
+    With ``queue`` (a :class:`repro.hpo.queue.DurableTrialQueue` or a
+    path to one), the search runs through the durable elastic runtime
+    (:func:`repro.hpo.elastic.run_elastic`) instead: every ask/claim/ack
+    is a queue transaction, so a killed campaign resumes bit-identically
+    from the same queue path.  ``sync``, ``failure_rate``, and
+    ``retry_backoff`` do not apply there.
 
     With ``executor`` (a :class:`repro.parallel.ParallelTrialExecutor`),
     the search instead runs in **real-clock mode**: trials execute on
@@ -158,6 +166,16 @@ def run_parallel(
         raise ValueError("max_retries must be >= 0")
     if retry_backoff < 0:
         raise ValueError("retry_backoff must be >= 0")
+    if queue is not None:
+        if sync:
+            raise ValueError("durable-queue mode is async-only (sync=True unsupported)")
+        from .elastic import run_elastic
+
+        return run_elastic(
+            strategy, objective, n_trials, queue, n_workers,
+            cost_model=cost_model, executor=executor,
+            max_retries=max_retries, injector=injector,
+        )
     if executor is not None:
         if sync:
             raise ValueError("real-clock mode is async-only (sync=True unsupported)")

@@ -5,7 +5,7 @@ from .base import Strategy, Suggestion
 from .bayesian import BayesianSearch, GaussianProcess, expected_improvement
 from .evolutionary import EvolutionarySearch
 from .generative import ConfigVAE, GenerativeSearch
-from .hyperband import Hyperband, SuccessiveHalving
+from .hyperband import ASHA, Hyperband, SuccessiveHalving
 from .naive import GridSearch, RandomSearch
 from .sampling import LatinHypercubeSearch, MedianStoppingWrapper, PopulationBasedTraining
 
@@ -14,6 +14,7 @@ STRATEGIES = {
     "grid": GridSearch,
     "successive_halving": SuccessiveHalving,
     "hyperband": Hyperband,
+    "asha": ASHA,
     "evolutionary": EvolutionarySearch,
     "bayesian": BayesianSearch,
     "generative": GenerativeSearch,
@@ -23,7 +24,7 @@ STRATEGIES = {
 
 __all__ = [
     "Strategy", "Suggestion", "RandomSearch", "GridSearch",
-    "SuccessiveHalving", "Hyperband", "EvolutionarySearch",
+    "SuccessiveHalving", "Hyperband", "ASHA", "EvolutionarySearch",
     "BayesianSearch", "GaussianProcess", "expected_improvement",
     "GenerativeSearch", "ConfigVAE", "STRATEGIES",
     "LatinHypercubeSearch", "MedianStoppingWrapper", "PopulationBasedTraining",

@@ -535,3 +535,44 @@ BENCH_PRECISION_SCHEMA = obj(
         ),
     },
 )
+
+
+BENCH_HPO_SCALE_SCHEMA = obj(
+    {
+        "smoke": BOOL,
+        "sim": obj(
+            {"n_trials": _POS_INT, "n_workers": _POS_INT, "elapsed_s": NONNEG,
+             "trials_per_s": NONNEG, "sim_makespan": NONNEG, "best_value": NUM,
+             "promotions": NONNEG_INT, "claims": NONNEG_INT, "acks": NONNEG_INT},
+        ),
+        "real": obj(
+            {"n_trials": _POS_INT, "n_workers": _POS_INT, "completed": NONNEG_INT,
+             "elapsed_s": NONNEG, "ideal_s": NONNEG, "overhead_frac": NUM,
+             "trials_per_s": NONNEG, "failures": NONNEG_INT,
+             "retries": NONNEG_INT},
+        ),
+        "replay": obj(
+            {"n_trials": _POS_INT, "n_workers": _POS_INT,
+             "consumer_kills": NONNEG_INT, "workers_killed": NONNEG_INT,
+             "reclaims": NONNEG_INT, "duplicate_acks": NONNEG_INT,
+             "lost": INT, "duplicated": INT, "resumed_trials": NONNEG_INT,
+             "bit_identical": BOOL},
+        ),
+        "asha_vs_sync": obj(
+            {"n_trials": _POS_INT, "n_workers": _POS_INT, "seeds": arr(INT),
+             "per_seed": arr(obj(
+                 {"seed": INT, "target": NUM, "asha_tta": NUM, "sync_tta": NUM,
+                  "asha_best": NUM, "sync_best": NUM},
+             )),
+             "asha_tta": NONNEG, "sync_tta": NONNEG, "tta_ratio": NONNEG},
+        ),
+        "acceptance": obj(
+            {"sim_trials": _POS_INT, "sim_trials_ok": BOOL,
+             "real_trials": NONNEG_INT, "real_trials_ok": BOOL,
+             "overhead_frac": NUM, "overhead_gate": NONNEG, "overhead_ok": BOOL,
+             "replay_lost": INT, "replay_duplicated": INT, "replay_ok": BOOL,
+             "resume_bit_identical": BOOL, "tta_ratio": NONNEG,
+             "asha_not_slower": BOOL},
+        ),
+    },
+)

@@ -97,6 +97,7 @@ def run_campaign(
     checkpoint_dir=None,
     publish_to=None,
     model_name: Optional[str] = None,
+    queue_path=None,
 ) -> CampaignReport:
     """Run search + final training for one registry benchmark.
 
@@ -120,6 +121,12 @@ def run_campaign(
     metric travel with the artifact, so a served model can always answer
     "which campaign produced you".  The report's ``published`` field
     carries the resulting :class:`repro.registry.ArtifactRef`.
+
+    ``queue_path`` makes the search phase *durable*: every ask/claim/ack
+    goes through an on-disk :class:`repro.hpo.DurableTrialQueue` at that
+    path, so a campaign killed mid-search can be re-invoked with the
+    same arguments and resumes bit-identically where it died (see
+    :func:`repro.hpo.run_elastic`).
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -145,10 +152,16 @@ def run_campaign(
             cost = simulated_trial_cost(spec, cluster)
             strat_cls = STRATEGIES[strategy]
             strat = strat_cls(space, seed=seed, **(strategy_kwargs or {}))
-            log = run_parallel(
-                strat, objective, n_trials, n_workers, cost,
-                injector=injector, max_retries=max_retries, retry_backoff=retry_backoff,
-            )
+            if queue_path is not None:
+                log = run_parallel(
+                    strat, objective, n_trials, n_workers, cost,
+                    injector=injector, max_retries=max_retries, queue=queue_path,
+                )
+            else:
+                log = run_parallel(
+                    strat, objective, n_trials, n_workers, cost,
+                    injector=injector, max_retries=max_retries, retry_backoff=retry_backoff,
+                )
             try:
                 best = log.best_config()
             except ValueError:

@@ -1,0 +1,489 @@
+"""Durable trial queue + elastic campaign runtime (repro.hpo.queue / elastic).
+
+The crash-replay harness for the 10^4-trial campaigns the scale bench
+runs: consumers are killed at *every* claim/ack boundary (explicitly,
+then under hypothesis-generated random kill schedules), drivers are
+killed mid-campaign, and the invariants must hold every time —
+
+* **exactly-once completion**: every enqueued job ends ``done`` with
+  exactly one ``tell`` event, no completion lost, none duplicated;
+* **no orphans**: when the campaign returns, nothing is left pending
+  or claimed;
+* **bit-identical resume**: a campaign killed at any point and resumed
+  from its queue file reproduces the uninterrupted run's trials exactly
+  (configs, values, budgets, sim times, worker assignment).
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo import (
+    ASHA,
+    DurableTrialQueue,
+    Float,
+    KillPlan,
+    RandomSearch,
+    SearchSpace,
+    WorkerPlan,
+    run_elastic,
+    run_parallel,
+)
+from repro.hpo.elastic import ElasticReplayError, replay_into
+from repro.hpo.queue import CLAIMED, DONE, PENDING
+from repro.hpo.results import ResultLog
+from repro.resilience import FaultSpec
+
+
+def small_space():
+    return SearchSpace({"x": Float(0.0, 1.0)})
+
+
+def objective(config, budget=1):
+    """Deterministic in (config, budget) — re-execution is safe."""
+    return (config["x"] - 0.25) ** 2 + 1.0 / budget
+
+
+def budget_cost(config, budget):
+    return float(budget)
+
+
+def rows(log: ResultLog):
+    """Everything that must survive kill/resume, per trial."""
+    return [
+        (t.trial_id, json.dumps(t.config, sort_keys=True), t.value,
+         t.budget, t.sim_time, t.worker)
+        for t in log.trials
+    ]
+
+
+@pytest.fixture
+def q(tmp_path):
+    with DurableTrialQueue(tmp_path / "q.db", lease_s=10.0) as queue:
+        yield queue
+
+
+# ----------------------------------------------------------------------
+# Queue semantics
+# ----------------------------------------------------------------------
+class TestQueueBasics:
+    def test_enqueue_assigns_ids_in_ask_order(self, q):
+        ids = [q.enqueue({"x": i / 10}, budget=1) for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+        assert q.n_jobs == 5
+
+    def test_enqueue_rejects_bad_budget(self, q):
+        with pytest.raises(ValueError):
+            q.enqueue({"x": 0.1}, budget=0)
+
+    def test_enqueue_logs_ask_event_atomically(self, q):
+        q.enqueue({"x": 0.5}, budget=3)
+        assert [(k, j) for _, k, j, _ in q.events()] == [("ask", 1)]
+
+    def test_invalid_lease_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableTrialQueue(tmp_path / "bad.db", lease_s=0.0)
+
+    def test_claim_oldest_runnable_first(self, q):
+        q.enqueue({"x": 0.1})
+        q.enqueue({"x": 0.2})
+        a = q.claim("c0", now=0.0)
+        b = q.claim("c1", now=0.0)
+        assert (a.job_id, b.job_id) == (1, 2)
+        assert q.claim("c2", now=0.0) is None
+
+    def test_claim_sets_lease_and_attempts(self, q):
+        q.enqueue({"x": 0.1})
+        job = q.claim("c0", now=5.0, lease_s=7.0)
+        assert job.attempts == 1
+        assert job.lease_expires == 12.0
+        rec = q.job(1)
+        assert (rec.status, rec.owner, rec.claimed_at) == (CLAIMED, "c0", 5.0)
+
+    def test_tag_tuple_roundtrips_through_json(self, q):
+        q.enqueue({"x": 0.1}, budget=3, tag=(2, 0, 7))
+        assert q.claim("c0", now=0.0).tag == (2, 0, 7)
+
+    def test_ack_completes_and_logs_tell(self, q):
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0)
+        assert q.ack(1, "c0", 0.25, now=1.0, sim_time=1.0, worker=0)
+        rec = q.job(1)
+        assert (rec.status, rec.value, rec.completed_by) == (DONE, 0.25, "c0")
+        assert rec.owner is None and rec.lease_expires is None
+        assert [(k, j, v) for _, k, j, v in q.events()] == [
+            ("ask", 1, None), ("tell", 1, 0.25)]
+
+    def test_ack_unknown_job_raises(self, q):
+        with pytest.raises(KeyError):
+            q.ack(99, "c0", 0.0)
+
+    def test_duplicate_ack_rejected(self, q):
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0)
+        assert q.ack(1, "c0", 0.25)
+        assert not q.ack(1, "c0", 0.25)
+        assert q.stats["duplicate_acks"] == 1
+        assert len(q.events()) == 2  # no second tell
+
+    def test_zombie_ack_first_wins_exactly_once(self, q):
+        """The classic lost-lease race: c0's lease expires mid-trial, c1
+        reclaims and re-runs.  Whichever acks first wins; the loser is
+        rejected — one tell, one value, forever."""
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0, lease_s=1.0)
+        reclaimed = q.claim("c1", now=2.0)  # lease expired -> lazy reclaim
+        assert reclaimed.job_id == 1 and reclaimed.attempts == 2
+        assert q.stats["reclaims"] == 1
+        assert q.ack(1, "c0", 0.25, now=3.0)  # zombie finishes first: wins
+        assert not q.ack(1, "c1", 0.25, now=4.0)
+        assert q.job(1).completed_by == "c0"
+        assert sum(1 for _, k, _, _ in q.events() if k == "tell") == 1
+
+    def test_requeue_owner_only(self, q):
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0)
+        assert not q.requeue(1, "c1")  # not the owner
+        assert q.requeue(1, "c0")
+        rec = q.job(1)
+        assert (rec.status, rec.owner, rec.attempts) == (PENDING, None, 1)
+
+    def test_requeue_done_is_noop(self, q):
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0)
+        q.ack(1, "c0", 0.5)
+        assert not q.requeue(1, "c0")
+        assert q.job(1).status == DONE
+
+    def test_extend_lease_renews_live_claim_only(self, q):
+        q.enqueue({"x": 0.1})
+        q.claim("c0", now=0.0, lease_s=5.0)
+        assert q.extend_lease(1, "c0", now=4.0, lease_s=5.0)
+        assert q.job(1).lease_expires == 9.0
+        q.claim("c1", now=20.0)  # expired -> reclaimed by c1
+        assert not q.extend_lease(1, "c0", now=21.0)  # claim was lost
+
+    def test_reclaim_expired_eager_sweep(self, q):
+        for i in range(3):
+            q.enqueue({"x": i / 10})
+            q.claim(f"c{i}", now=0.0, lease_s=float(i + 1))
+        assert q.reclaim_expired(2.5) == [1, 2]
+        counts = q.counts()
+        assert counts[PENDING] == 2 and counts[CLAIMED] == 1
+        assert q.stats["reclaims"] == 2
+
+    def test_reset_claims_returns_everything_to_pending(self, q):
+        for i in range(3):
+            q.enqueue({"x": i / 10})
+        q.claim("c0", now=0.0)
+        q.claim("c1", now=0.0)
+        assert q.reset_claims() == 2
+        assert q.counts() == {PENDING: 3, CLAIMED: 0, DONE: 0}
+
+    def test_counts_and_next_lease_expiry(self, q):
+        assert q.next_lease_expiry() is None
+        q.enqueue({"x": 0.1})
+        q.enqueue({"x": 0.2})
+        q.claim("c0", now=0.0, lease_s=3.0)
+        assert q.next_lease_expiry() == 3.0
+        assert q.counts() == {PENDING: 1, CLAIMED: 1, DONE: 0}
+        assert q.n_done == 0
+
+    def test_completions_in_tell_order(self, q):
+        for i in range(3):
+            q.enqueue({"x": i / 10})
+        for cid in (3, 1, 2):  # complete out of job-id order
+            q.claim(f"c{cid}", now=0.0)
+        for cid in (3, 1, 2):
+            q.ack(cid, f"c{cid}", float(cid))
+        assert [r.job_id for r in q.completions()] == [3, 1, 2]
+
+    def test_state_survives_close_and_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        with DurableTrialQueue(path) as q1:
+            q1.enqueue({"x": 0.1}, budget=2, tag=(0, 0))
+            q1.enqueue({"x": 0.2})
+            q1.claim("c0", now=1.0)
+            q1.ack(1, "c0", 0.5, now=2.0, sim_time=2.0, worker=0)
+            q1.meta_set("sim_now", 2.0)
+        with DurableTrialQueue(path) as q2:
+            assert q2.n_jobs == 2 and q2.n_done == 1
+            rec = q2.job(1)
+            assert (rec.value, rec.tag, rec.budget) == (0.5, (0, 0), 2)
+            assert q2.meta_get("sim_now") == 2.0
+            assert len(q2.events()) == 3  # ask, ask, tell
+
+    def test_meta_get_default_and_overwrite(self, q):
+        assert q.meta_get("missing", 42) == 42
+        q.meta_set("k", {"a": 1})
+        q.meta_set("k", {"a": 2})
+        assert q.meta_get("k") == {"a": 2}
+
+
+# ----------------------------------------------------------------------
+# Consumer kills at every claim/ack boundary
+# ----------------------------------------------------------------------
+class TestKillBoundaries:
+    N = 12
+
+    def _run(self, tmp_path, kills, strategy=None, **kw):
+        with DurableTrialQueue(tmp_path / "kill.db", lease_s=5.0) as queue:
+            strat = strategy or RandomSearch(small_space(), seed=3)
+            log = run_elastic(
+                strat, objective, self.N, queue, n_workers=4,
+                cost_model=budget_cost, kill_plan=KillPlan(kills=kills), **kw,
+            )
+            counts = queue.counts()
+            completions = queue.completions()
+        return log, counts, completions
+
+    def _assert_exactly_once(self, log, counts, completions):
+        assert counts == {PENDING: 0, CLAIMED: 0, DONE: self.N}
+        assert len(log) == self.N
+        done_ids = [r.job_id for r in completions]
+        assert len(done_ids) == len(set(done_ids)) == self.N  # no dup, no loss
+
+    def test_kill_after_claim_every_job(self, tmp_path):
+        kills = {(j, 1): "claim" for j in range(1, self.N + 1)}
+        log, counts, completions = self._run(tmp_path, kills)
+        self._assert_exactly_once(log, counts, completions)
+        assert log.stats["workers_killed"] == self.N
+        assert log.stats["reclaims"] == self.N
+        assert all(r.attempts == 2 for r in completions)
+
+    def test_kill_before_ack_every_job(self, tmp_path):
+        kills = {(j, 1): "ack" for j in range(1, self.N + 1)}
+        log, counts, completions = self._run(tmp_path, kills)
+        self._assert_exactly_once(log, counts, completions)
+        assert log.stats["workers_killed"] == self.N
+        assert log.stats["duplicate_acks"] == 0  # the dead never ack
+
+    def test_alternating_boundaries(self, tmp_path):
+        kills = {(j, 1): ("claim" if j % 2 else "ack")
+                 for j in range(1, self.N + 1)}
+        log, counts, completions = self._run(tmp_path, kills)
+        self._assert_exactly_once(log, counts, completions)
+
+    def test_second_attempt_killed_too(self, tmp_path):
+        kills = {(1, 1): "ack", (1, 2): "claim", (2, 1): "claim", (2, 2): "ack"}
+        log, counts, completions = self._run(tmp_path, kills)
+        self._assert_exactly_once(log, counts, completions)
+        by_id = {r.job_id: r for r in completions}
+        assert by_id[1].attempts == 3 and by_id[2].attempts == 3
+
+    def test_poison_job_gives_up_as_inf(self, tmp_path):
+        # Job 1 dies on every allowed attempt: with max_retries=2 the
+        # driver completes it as inf — exactly-once survives give-up.
+        kills = {(1, a): "claim" for a in range(1, 4)}
+        log, counts, completions = self._run(tmp_path, kills, max_retries=2)
+        self._assert_exactly_once(log, counts, completions)
+        assert log.stats["giveups"] == 1
+        rec = next(r for r in completions if r.job_id == 1)
+        assert rec.value == float("inf") and rec.completed_by == "driver"
+
+    def test_killed_slot_respawns_as_fresh_consumer(self, tmp_path):
+        kills = {(1, 1): "ack"}
+        log, counts, completions = self._run(tmp_path, kills)
+        self._assert_exactly_once(log, counts, completions)
+        rec = next(r for r in completions if r.job_id == 1)
+        # The retry was acked by a .1 (or later) incarnation, never the
+        # dead .0 identity.
+        assert not rec.completed_by.endswith(".0")
+
+    def test_kill_plan_validates_boundary(self):
+        with pytest.raises(ValueError):
+            KillPlan(kills={(1, 1): "mid-flight"})
+
+    def test_asha_under_kills(self, tmp_path):
+        kills = {(j, 1): ("claim" if j % 2 else "ack") for j in range(2, 20, 3)}
+        log, counts, completions = self._run(
+            tmp_path, kills,
+            strategy=ASHA(small_space(), seed=0, max_budget=9),
+        )
+        self._assert_exactly_once(log, counts, completions)
+
+
+# ----------------------------------------------------------------------
+# Elastic runtime: campaigns, resume, membership
+# ----------------------------------------------------------------------
+class TestElasticRuntime:
+    def test_sim_campaign_completes(self, tmp_path):
+        with DurableTrialQueue(tmp_path / "a.db") as queue:
+            log = run_elastic(RandomSearch(small_space(), seed=1), objective,
+                              20, queue, n_workers=4, cost_model=budget_cost)
+        assert len(log) == 20
+        assert sorted(t.trial_id for t in log.trials) == list(range(20))
+
+    def test_accepts_path_and_creates_queue(self, tmp_path):
+        path = tmp_path / "sub" / "by_path.db"
+        log = run_elastic(RandomSearch(small_space(), seed=1), objective,
+                          8, path, n_workers=2, cost_model=budget_cost)
+        assert len(log) == 8 and path.exists()
+
+    def test_asha_campaign_promotes(self, tmp_path):
+        strat = ASHA(small_space(), seed=2, max_budget=9)
+        log = run_elastic(strat, objective, 40, tmp_path / "asha.db",
+                          n_workers=8, cost_model=budget_cost)
+        assert len(log) == 40
+        assert strat.promotions > 0
+        assert max(t.budget for t in log.trials) == 9
+
+    def test_same_seed_same_rows(self, tmp_path):
+        logs = [
+            run_elastic(ASHA(small_space(), seed=5, max_budget=9), objective,
+                        30, tmp_path / f"rep{i}.db", n_workers=4,
+                        cost_model=budget_cost)
+            for i in range(2)
+        ]
+        assert rows(logs[0]) == rows(logs[1])
+
+    def test_driver_kill_resume_bit_identical(self, tmp_path):
+        mk = lambda: ASHA(small_space(), seed=7, max_budget=9)  # noqa: E731
+        full = run_elastic(mk(), objective, 40, tmp_path / "full.db",
+                           n_workers=4, cost_model=budget_cost)
+        aborted = run_elastic(mk(), objective, 40, tmp_path / "crash.db",
+                              n_workers=4, cost_model=budget_cost,
+                              stop_after=13)
+        assert aborted.stats["aborted"] and len(aborted) == 13
+        resumed = run_elastic(mk(), objective, 40, tmp_path / "crash.db",
+                              n_workers=4, cost_model=budget_cost)
+        assert resumed.stats["resumed"]
+        assert resumed.stats["replayed"] == 13
+        assert rows(resumed) == rows(full)
+
+    def test_resume_with_wrong_seed_raises(self, tmp_path):
+        run_elastic(RandomSearch(small_space(), seed=1), objective, 10,
+                    tmp_path / "seed.db", n_workers=2,
+                    cost_model=budget_cost, stop_after=4)
+        with pytest.raises(ElasticReplayError):
+            run_elastic(RandomSearch(small_space(), seed=2), objective, 10,
+                        tmp_path / "seed.db", n_workers=2,
+                        cost_model=budget_cost)
+
+    def test_replay_into_rebuilds_log(self, tmp_path):
+        path = tmp_path / "replay.db"
+        first = run_elastic(RandomSearch(small_space(), seed=4), objective,
+                            12, path, n_workers=3, cost_model=budget_cost)
+        with DurableTrialQueue(path) as queue:
+            log = ResultLog()
+            sugs = replay_into(queue, RandomSearch(small_space(), seed=4), log)
+        assert len(sugs) == 12
+        assert rows(log) == rows(first)
+
+    def test_worker_plan_join_and_leave(self, tmp_path):
+        plan = WorkerPlan(sim=[(3.0, 4), (5.0, -2)])
+        log = run_elastic(RandomSearch(small_space(), seed=6), objective,
+                          30, tmp_path / "plan.db", n_workers=2,
+                          cost_model=budget_cost, worker_plan=plan)
+        assert len(log) == 30
+        assert log.stats["workers_lost"] == 2
+        # The join shows up as trials running on the new slots (wid >= 2).
+        assert {t.worker for t in log.trials} > {0, 1}
+
+    def test_faulted_campaign_completes(self, tmp_path):
+        faults = FaultSpec(crash_prob=0.15, nan_prob=0.1, straggler_prob=0.1,
+                           worker_loss_times=(5.0,), seed=9)
+        from repro.resilience import as_injector
+
+        with DurableTrialQueue(tmp_path / "faults.db", lease_s=5.0) as queue:
+            log = run_elastic(RandomSearch(small_space(), seed=3), objective,
+                              40, queue, n_workers=4, cost_model=budget_cost,
+                              injector=as_injector(faults))
+            counts = queue.counts()
+        assert counts == {PENDING: 0, CLAIMED: 0, DONE: 40}
+        assert log.stats["failures"] > 0
+        assert log.stats["quarantined"] > 0
+        assert log.stats["workers_lost"] == 1
+
+    def test_run_parallel_delegates_to_queue_mode(self, tmp_path):
+        log = run_parallel(RandomSearch(small_space(), seed=8), objective,
+                           15, 4, budget_cost, queue=tmp_path / "rp.db")
+        assert len(log) == 15
+
+    def test_run_parallel_queue_rejects_sync(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_parallel(RandomSearch(small_space(), seed=8), objective,
+                         15, 4, budget_cost, queue=tmp_path / "rp.db",
+                         sync=True)
+
+    def test_validation_errors(self, tmp_path):
+        strat = RandomSearch(small_space(), seed=0)
+        with pytest.raises(ValueError):
+            run_elastic(strat, objective, 0, tmp_path / "v.db", n_workers=2)
+        with pytest.raises(ValueError):
+            run_elastic(strat, objective, 5, tmp_path / "v.db", n_workers=0)
+        with pytest.raises(ValueError):
+            run_elastic(strat, objective, 5, tmp_path / "v.db", n_workers=2,
+                        max_retries=-1)
+
+    def test_aborted_campaign_is_consistent_checkpoint(self, tmp_path):
+        path = tmp_path / "abort.db"
+        run_elastic(RandomSearch(small_space(), seed=1), objective, 20, path,
+                    n_workers=4, cost_model=budget_cost, stop_after=7)
+        with DurableTrialQueue(path) as queue:
+            counts = queue.counts()
+            asks = sum(1 for _, k, _, _ in queue.events() if k == "ask")
+            tells = sum(1 for _, k, _, _ in queue.events() if k == "tell")
+            assert queue.meta_get("sim_now") is not None
+        # Every job is accounted for: done, or claimed/pending (in
+        # flight at the kill) — and the event log matches the tables.
+        assert counts[DONE] == tells == 7
+        assert sum(counts.values()) == asks
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random kill schedules and stop points
+# ----------------------------------------------------------------------
+N_PROP = 12
+
+kill_schedules = st.dictionaries(
+    keys=st.tuples(st.integers(1, N_PROP), st.integers(1, 2)),
+    values=st.sampled_from(["claim", "ack"]),
+    max_size=8,
+)
+
+
+class TestCrashReplayProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(kills=kill_schedules)
+    def test_exactly_once_no_orphans_under_any_kill_schedule(self, kills):
+        """For ANY schedule of consumer kills at claim/ack boundaries:
+        every job completes exactly once and nothing is orphaned."""
+        # A fresh directory per hypothesis example (the function-scoped
+        # tmp_path is shared across examples and a leftover queue file
+        # would silently turn the run into a resume).
+        with tempfile.TemporaryDirectory(prefix="repro_hpoq_") as tmp, \
+                DurableTrialQueue(Path(tmp) / "prop.db", lease_s=4.0) as queue:
+            log = run_elastic(
+                ASHA(small_space(), seed=11, max_budget=9), objective,
+                N_PROP, queue, n_workers=3, cost_model=budget_cost,
+                kill_plan=KillPlan(kills=kills),
+            )
+            counts = queue.counts()
+            done_ids = [r.job_id for r in queue.completions()]
+            tells = sum(1 for _, k, _, _ in queue.events() if k == "tell")
+        assert counts == {PENDING: 0, CLAIMED: 0, DONE: N_PROP}  # no orphans
+        assert sorted(done_ids) == list(range(1, N_PROP + 1))  # exactly once
+        assert tells == N_PROP
+        assert len(log) == N_PROP
+        assert log.stats["duplicate_acks"] == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(stop=st.integers(1, 23), kills=kill_schedules)
+    def test_resume_bit_identical_at_any_stop_point(self, stop, kills):
+        """Kill the driver after ANY number of completions (with consumer
+        kills raging underneath): the resumed campaign reproduces the
+        uninterrupted run bit for bit."""
+        mk = lambda: ASHA(small_space(), seed=13, max_budget=9)  # noqa: E731
+        kw = dict(n_workers=3, cost_model=budget_cost,
+                  kill_plan=KillPlan(kills=kills))
+        with tempfile.TemporaryDirectory(prefix="repro_hpoq_") as tmp:
+            full = run_elastic(mk(), objective, 24, Path(tmp) / "pf.db", **kw)
+            run_elastic(mk(), objective, 24, Path(tmp) / "pc.db",
+                        stop_after=stop, **kw)
+            resumed = run_elastic(mk(), objective, 24, Path(tmp) / "pc.db", **kw)
+        assert rows(resumed) == rows(full)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hpo import (
+    ASHA,
     STRATEGIES,
     BayesianSearch,
     ConfigVAE,
@@ -130,6 +131,87 @@ class TestSuccessiveHalvingHyperband:
             sh_bests.append(sh_log.best_value())
             rnd_bests.append(rnd_log.best_value())
         assert np.median(sh_bests) < np.median(rnd_bests) + 0.05
+
+    def test_tie_break_promotes_earlier_launch(self):
+        """Equal values must promote the earlier *launch*, not whichever
+        completion happened to land first under parallel execution."""
+        strat = SuccessiveHalving(small_space(), seed=0, min_budget=1,
+                                  max_budget=3, eta=3)
+        sugs = [strat.ask() for _ in range(3)]  # fills the bottom rung
+        for s in reversed(sugs):  # completions land in reverse launch order
+            strat.tell(s, 1.0)
+        promo = strat.ask()
+        assert promo.budget == 3
+        assert promo.config == sugs[0].config
+
+    def test_stale_bracket_tell_is_dropped(self):
+        """A trial launched before a bracket restart must not pollute the
+        new bracket's rungs when its result finally lands."""
+        strat = SuccessiveHalving(small_space(), seed=0, min_budget=1,
+                                  max_budget=3, eta=3)
+        sugs = [strat.ask() for _ in range(3)]
+        for i, s in enumerate(sugs):
+            strat.tell(s, float(i))
+        top = strat.ask()  # the promotion that finishes bracket 0
+        strat.tell(top, 0.0)
+        fresh = strat.ask()  # triggers the bracket restart
+        assert fresh.tag[0] == 1
+        n_results = len(strat.rungs[0].results)
+        strat.tell(sugs[2], -100.0)  # bracket-0 straggler reports late
+        assert strat.stale_tells == 1
+        assert len(strat.rungs[0].results) == n_results  # unpolluted
+
+
+class TestASHA:
+    def test_registered(self):
+        assert STRATEGIES["asha"] is ASHA
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ASHA(small_space(), min_budget=0)
+        with pytest.raises(ValueError):
+            ASHA(small_space(), min_budget=5, max_budget=2)
+        with pytest.raises(ValueError):
+            ASHA(small_space(), eta=1)
+
+    def test_ask_never_returns_none(self):
+        """The no-barrier property elastic workers lean on: with nothing
+        told yet, ask keeps growing the bottom rung instead of stalling."""
+        strat = ASHA(small_space(), seed=0, max_budget=27)
+        sugs = [strat.ask() for _ in range(50)]
+        assert all(s is not None for s in sugs)
+        assert all(s.tag[0] == 0 for s in sugs)  # all bottom-rung work
+
+    def test_promotes_top_fraction_asynchronously(self):
+        strat = ASHA(small_space(), seed=0, min_budget=1, max_budget=9, eta=3)
+        sugs = [strat.ask() for _ in range(3)]
+        for i, s in enumerate(sugs):
+            strat.tell(s, float(i))
+        promo = strat.ask()  # 3 results -> top 1/3 promotable, no barrier
+        assert promo.tag[0] == 1 and promo.budget == 3
+        assert promo.config == sugs[0].config  # the best so far
+        assert strat.promotions == 1
+
+    def test_tie_break_prefers_earlier_launch(self):
+        strat = ASHA(small_space(), seed=0, min_budget=1, max_budget=9, eta=3)
+        sugs = [strat.ask() for _ in range(3)]
+        for s in reversed(sugs):
+            strat.tell(s, 0.5)
+        assert strat.ask().config == sugs[0].config
+
+    def test_reaches_max_budget(self):
+        space = small_space()
+        strat = ASHA(space, seed=1, min_budget=1, max_budget=9, eta=3)
+        land = SurrogateLandscape(space, noise=0.0, seed=0)
+        log = run_sequential(strat, land, 60)
+        assert max(t.budget for t in log.trials) == 9
+        assert strat.promotions > 0
+
+    def test_reproducible(self):
+        a = run_sequential(ASHA(small_space(), seed=4, max_budget=9), sphere, 40)
+        b = run_sequential(ASHA(small_space(), seed=4, max_budget=9), sphere, 40)
+        assert a.values == b.values
+        assert [t.budget for t in a.trials] == [t.budget for t in b.trials]
 
 
 class TestEvolutionary:
