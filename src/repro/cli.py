@@ -32,6 +32,11 @@ Commands
     trials through the on-disk trial queue, scheduler overhead, seeded
     kill/resume replay, ASHA vs synchronous halving (writes
     BENCH_hpo_scale.json).
+``ddp-overlap-bench``
+    Run the overlapped bucketed gradient-allreduce benchmark — step
+    throughput per comm engine under a calibrated wire stall, measured
+    bytes-on-wire per wire dtype, and the process-vs-serial bit-parity
+    audit (writes BENCH_ddp_overlap.json).
 """
 
 from __future__ import annotations
@@ -248,6 +253,26 @@ def _cmd_hpo_scale_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_ddp_overlap_bench(args: argparse.Namespace) -> int:
+    # The bench lives with the other artifact producers in benchmarks/
+    # (it spawns rank processes and calibrates a stall, so it stays a
+    # standalone script); load it by path so the CLI shares one
+    # implementation with pytest and CI.
+    import importlib.util
+    from pathlib import Path
+
+    bench = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_ddp_overlap.py"
+    if not bench.exists():
+        print("benchmarks/bench_ddp_overlap.py not found "
+              "(a source checkout is required)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("bench_ddp_overlap", bench)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    argv = ["--out", args.out] + (["--smoke"] if args.smoke else [])
+    return mod.main(argv)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import (
         SchemaError, format_summary, read_jsonl, summarize_trace,
@@ -335,6 +360,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_hpob.add_argument("--seed", type=int, default=0)
     p_hpob.add_argument("--out", default="BENCH_hpo_scale.json", help="output JSON path")
 
+    p_ddpb = sub.add_parser("ddp-overlap-bench",
+                            help="run the overlapped bucketed DDP benchmark")
+    p_ddpb.add_argument("--smoke", action="store_true",
+                        help="short run; gate parity + bytes ratio only (CI)")
+    p_ddpb.add_argument("--out", default="BENCH_ddp_overlap.json",
+                        help="output JSON path")
+
     p_trace = sub.add_parser("trace", help="validate and summarize a recorded trace")
     p_trace.add_argument("trace", help="path to a trace .jsonl file")
     p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
@@ -351,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "registry": _cmd_registry,
         "registry-bench": _cmd_registry_bench,
         "hpo-scale-bench": _cmd_hpo_scale_bench,
+        "ddp-overlap-bench": _cmd_ddp_overlap_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -227,6 +227,7 @@ class Model:
         profiler: Optional[ContextManager] = None,
         prefetch: bool = False,
         precision: Optional[str] = None,
+        grad_ready_hook: Optional[Callable] = None,
     ) -> History:
         """Train the model; returns a :class:`History`.
 
@@ -260,6 +261,11 @@ class Model:
         for fp16 through :class:`repro.precision.LossScaler`.  Parameters
         are cast to fp32 in place; the controller's stats land on
         ``history.precision``.
+
+        ``grad_ready_hook(param)`` is forwarded to every backward pass
+        (see :meth:`Tensor.backward`): it fires per parameter the moment
+        that parameter's gradient is final, enabling overlapped gradient
+        communication in :func:`repro.parallel.fit_data_parallel`.
         """
         if grad_accumulation < 1:
             raise ValueError("grad_accumulation must be >= 1")
@@ -352,16 +358,19 @@ class Model:
                             # One seed folds loss scale and window average;
                             # grads are unscaled at the window boundary.
                             batch_loss.backward(
-                                amp_state.seed(window, batch_loss.data.dtype)
+                                amp_state.seed(window, batch_loss.data.dtype),
+                                grad_ready_hook=grad_ready_hook,
                             )
                     else:
                         pred = self.forward(xt, training=True)
                         batch_loss = loss_fn(pred, target)
                         if window > 1:
                             # Average (not sum) over the accumulation window.
-                            (batch_loss * (1.0 / window)).backward()
+                            (batch_loss * (1.0 / window)).backward(
+                                grad_ready_hook=grad_ready_hook
+                            )
                         else:
-                            batch_loss.backward()
+                            batch_loss.backward(grad_ready_hook=grad_ready_hook)
                     loss_val = batch_loss.item()
                     if rec is not None:
                         # Grad norm must be read here: the window boundary

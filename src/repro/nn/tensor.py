@@ -20,7 +20,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -205,12 +205,26 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(
+        self,
+        grad: Optional[np.ndarray] = None,
+        grad_ready_hook: Optional[Callable[["Tensor"], None]] = None,
+    ) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         ``grad`` defaults to ones (appropriate for scalar losses).  Grads
         accumulate into ``.grad`` on every reachable tensor that has
         ``requires_grad`` set.
+
+        ``grad_ready_hook(leaf)`` fires on each leaf tensor (no backward
+        fn — i.e. a parameter) the moment its ``.grad`` is final for this
+        pass: a per-tensor consumer-edge count tracks how many graph
+        edges can still contribute, and the hook fires when the last one
+        delivers — mid-backward, in the order backward actually finishes
+        parameters.  This is the attachment point for overlapped
+        gradient communication (``repro.parallel.ddp``): buckets of
+        parameters can start their allreduce while the rest of backward
+        is still running.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -237,6 +251,14 @@ class Tensor:
 
         topo: List[Tensor] = []
         visited = set()
+        # Consumer-edge counts for every reachable requires-grad tensor.
+        # A leaf's gradient is final the moment its *last* consumer edge
+        # has delivered (or skipped) its contribution — that is when the
+        # grad-ready hook must fire.  The leaf's own position in the
+        # reversed topo order is far too late: DFS appends a layer's
+        # params before descending the rest of the chain, so last-layer
+        # params (whose grads backward finishes first) pop last.
+        pending: Dict[int, int] = {}
         stack: List[Tuple[Tensor, bool]] = [(self, False)]
         # Iterative DFS (deep MLPs would blow the recursion limit).
         while stack:
@@ -249,8 +271,10 @@ class Tensor:
             visited.add(id(node))
             stack.append((node, True))
             for p in node._parents:
-                if p.requires_grad and id(p) not in visited:
-                    stack.append((p, False))
+                if p.requires_grad:
+                    pending[id(p)] = pending.get(id(p), 0) + 1
+                    if id(p) not in visited:
+                        stack.append((p, False))
 
         # ``owned`` marks accumulation buffers this pass allocated itself and
         # may therefore mutate with in-place adds.  First contributions are
@@ -259,39 +283,58 @@ class Tensor:
         # one is an in-place ``np.add``.
         grads = {id(self): grad}
         owned = set()
-        for node in reversed(topo):
-            g = grads.pop(id(node), None)
-            if g is None:
-                continue
-            if node.grad is None:
+
+        def _finalize_leaf(leaf: "Tensor", g: np.ndarray) -> None:
+            if leaf.grad is None:
                 # Leaves (params) get an owned copy so cross-step
-                # accumulation below can run in place; non-leaf grads may
-                # share (same semantics as storing the closure output).
-                if node._backward_fn is None:
-                    node.grad = g if id(node) in owned else g.copy()
-                else:
-                    node.grad = g
-            elif node._backward_fn is None:
+                # accumulation below can run in place; an owned buffer can
+                # be adopted as-is.
+                leaf.grad = g if id(leaf) in owned else g.copy()
+            else:
                 # Accumulate into the existing (owned) leaf buffer without
                 # reallocating — the grad-accumulation hot path.
-                np.add(node.grad, g, out=node.grad)
-            else:
-                node.grad = node.grad + g
+                np.add(leaf.grad, g, out=leaf.grad)
+            if grad_ready_hook is not None:
+                grad_ready_hook(leaf)
+
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is not None:
+                if node._backward_fn is None:
+                    # Only the root itself can reach its pop while still
+                    # carrying a buffer — every other leaf was finalized
+                    # below when its last consumer edge cleared.
+                    _finalize_leaf(node, g)
+                elif node.grad is None:
+                    # Non-leaf grads may share (same semantics as storing
+                    # the closure output).
+                    node.grad = g
+                else:
+                    node.grad = node.grad + g
             if node._backward_fn is None:
                 continue
-            parent_grads = node._backward_fn(g)
-            for p, pg in zip(node._parents, parent_grads):
-                if pg is None or not p.requires_grad:
+            parent_grads = node._backward_fn(g) if g is not None else None
+            for i, p in enumerate(node._parents):
+                if not p.requires_grad:
                     continue
                 key = id(p)
-                buf = grads.get(key)
-                if buf is None:
-                    grads[key] = pg
-                elif key in owned:
-                    np.add(buf, pg, out=buf)
-                else:
-                    grads[key] = buf + pg
-                    owned.add(key)
+                pg = None if parent_grads is None else parent_grads[i]
+                if pg is not None:
+                    buf = grads.get(key)
+                    if buf is None:
+                        grads[key] = pg
+                    elif key in owned:
+                        np.add(buf, pg, out=buf)
+                    else:
+                        grads[key] = buf + pg
+                        owned.add(key)
+                # This consumer edge has now delivered (or skipped) its
+                # contribution; a leaf whose last edge clears is final.
+                pending[key] -= 1
+                if pending[key] == 0 and p._backward_fn is None:
+                    buf = grads.pop(key, None)
+                    if buf is not None:
+                        _finalize_leaf(p, buf)
         # Leaf-only .grad semantics would drop intermediate grads; we keep
         # them all (useful for attribution studies in the AMR workload).
 

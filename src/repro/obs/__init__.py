@@ -49,6 +49,7 @@ from .export import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import format_summary, summarize_trace
 from .schema import (
+    BENCH_DDP_OVERLAP_SCHEMA,
     BENCH_HPO_SCALE_SCHEMA,
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
@@ -83,6 +84,7 @@ __all__ = [
     "format_summary",
     "validate",
     "SchemaError",
+    "BENCH_DDP_OVERLAP_SCHEMA",
     "BENCH_HPO_SCALE_SCHEMA",
     "BENCH_KERNELS_SCHEMA",
     "BENCH_SERVING_SCHEMA",

@@ -7,7 +7,8 @@ comparing fields that no longer exist.  Each artifact therefore gets a
 declared schema — the trace JSONL records (versioned via
 :data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`), ``BENCH_kernels.json``,
 ``BENCH_serving.json``, ``BENCH_serving_scale.json``, ``BENCH_obs.json``,
-``BENCH_parallel.json``, and ``BENCH_precision.json``
+``BENCH_parallel.json``, ``BENCH_precision.json``, and
+``BENCH_ddp_overlap.json``
 — and CI validates the generated files against them
 (``tests/test_schemas.py``).
 
@@ -573,6 +574,76 @@ BENCH_HPO_SCALE_SCHEMA = obj(
              "replay_lost": INT, "replay_duplicated": INT, "replay_ok": BOOL,
              "resume_bit_identical": BOOL, "tta_ratio": NONNEG,
              "asha_not_slower": BOOL},
+        ),
+    },
+)
+
+
+#: ``BENCH_ddp_overlap.json`` — the overlapped bucketed gradient
+#: allreduce benchmark (``benchmarks/bench_ddp_overlap.py``): step
+#: throughput per engine (monolithic / bucketed / bucketed+overlap /
+#: bucketed+overlap on the fp32 wire) at 2 and 4 ranks under a
+#: calibrated comm stall, measured bytes-on-wire per wire dtype, and
+#: the per-(comm, wire-dtype) process-vs-serial bit-parity audit.
+_DDP_ENGINE_ROW = obj(
+    {"elapsed_s": NONNEG, "steps_per_s": NONNEG, "n_buckets": _POS_INT,
+     "overlap_fraction": NONNEG, "final_loss": NUM},
+    optional={"speedup": NONNEG},
+)
+
+BENCH_DDP_OVERLAP_SCHEMA = obj(
+    {
+        "acceptance": obj(
+            {
+                "parity_ok": BOOL,
+                "overlap_speedup_4r": NONNEG,
+                "overlap_speedup_4r_f64": NONNEG,
+                "overlap_speedup_min": NONNEG,
+                "overlap_speedup_ok": BOOL,
+                "overlap_fraction_4r": NONNEG,
+                "fp32_wire_bytes_ratio": NONNEG,
+                "fp32_wire_halves_bytes": BOOL,
+            },
+        ),
+        "throughput": obj(
+            {
+                "epochs": _POS_INT,
+                "steps_per_epoch": _POS_INT,
+                "stall_s_per_step": NONNEG,
+                "stall_s_per_mib": NONNEG,
+                "vec_mib": NONNEG,
+                "worlds": arr(obj(
+                    {"world": _POS_INT, "monolithic": _DDP_ENGINE_ROW,
+                     "bucketed_noverlap": _DDP_ENGINE_ROW,
+                     "bucketed": _DDP_ENGINE_ROW,
+                     "bucketed_fp32": _DDP_ENGINE_ROW},
+                )),
+            },
+        ),
+        "wire": obj(
+            {
+                "world": _POS_INT,
+                "rows": arr(obj(
+                    {"wire_dtype": {"enum": ["float64", "float32", "bf16"]},
+                     "wire_bytes_per_step": _POS_INT,
+                     "bytes_ratio_vs_f64": NONNEG, "final_loss": NUM},
+                )),
+            },
+        ),
+        "parity": obj(
+            {
+                "rows": arr(obj(
+                    {"comm": {"enum": ["monolithic", "bucketed"]},
+                     "wire_dtype": {"enum": ["float64", "float32", "bf16"]},
+                     "max_abs_diff": NONNEG, "bit_identical": BOOL,
+                     "loss_match": BOOL},
+                )),
+                "overlap_invariant": BOOL,
+            },
+        ),
+        "meta": obj(
+            {"numpy": STR, "cpus": _POS_INT, "start_method": STR,
+             "smoke": BOOL, "blas_pinned": BOOL},
         ),
     },
 )

@@ -13,7 +13,10 @@ layers, bottom-up:
 * :mod:`repro.parallel.allreduce` — deterministic shared-memory
   reduce-scatter/allgather allreduce whose fixed rank-order association
   makes parallel training bit-identical to the serial reference
-  (:class:`RankReducer`, :func:`reduce_ranks`).
+  (:class:`RankReducer`, :func:`reduce_ranks`), plus the bucketed
+  double-buffered variant with selectable wire precision that backs
+  overlapped DDP (:class:`BucketRankReducer`, :func:`plan_buckets`,
+  :func:`reduce_ranks_bucketed`, ``wire_dtype in WIRE_DTYPES``).
 * :mod:`repro.parallel.ddp` / :mod:`repro.parallel.executor` — the two
   user-facing drivers: :func:`fit_data_parallel` (real data-parallel
   training) and :class:`ParallelTrialExecutor` (real-clock HPO via
@@ -27,7 +30,23 @@ Measured by ``benchmarks/bench_parallel.py`` (speedup + parity gates,
 ``BENCH_parallel.json``); see the README "Parallel execution" section.
 """
 
-from .allreduce import RankReducer, chunk_bounds, create_allreduce, reduce_ranks
+from .allreduce import (
+    DEFAULT_BUCKET_BYTES,
+    WIRE_DTYPES,
+    BucketPlan,
+    BucketRankReducer,
+    RankReducer,
+    accumulate_rows,
+    chunk_bounds,
+    create_allreduce,
+    create_bucketed_allreduce,
+    decode_wire,
+    encode_wire,
+    plan_buckets,
+    reduce_ranks,
+    reduce_ranks_bucketed,
+    wire_itemsize,
+)
 from .ddp import DataParallelResult, fit_data_parallel
 from .executor import ParallelTrialExecutor, bind_worker_data, worker_data
 from .pool import DEFAULT_WORKER_ENV, ProcessWorkerPool, TaskResult, echo_task
@@ -38,6 +57,10 @@ __all__ = [
     "SharedArrayStore", "SharedArrayRef", "AttachedArray", "attach",
     "ProcessWorkerPool", "TaskResult", "DEFAULT_WORKER_ENV", "echo_task",
     "RankReducer", "reduce_ranks", "create_allreduce", "chunk_bounds",
+    "BucketPlan", "BucketRankReducer", "plan_buckets",
+    "create_bucketed_allreduce", "reduce_ranks_bucketed", "accumulate_rows",
+    "encode_wire", "decode_wire", "wire_itemsize",
+    "WIRE_DTYPES", "DEFAULT_BUCKET_BYTES",
     "fit_data_parallel", "DataParallelResult",
     "ParallelTrialExecutor", "worker_data", "bind_worker_data",
     "PrefetchLoader",

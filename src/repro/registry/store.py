@@ -28,6 +28,7 @@ today, an S3-style remote by implementing the same five-method contract.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -124,6 +125,7 @@ class ArtifactStore:
         self.cache = cache if cache is not None else WarmModelCache(capacity)
         self.publishes = 0
         self.dedup_hits = 0  # publishes whose object already existed
+        self.pruned_versions = 0  # manifests dropped by gc retention policy
         self.loads = 0
         self.hits = 0
         self.evictions = 0
@@ -171,7 +173,13 @@ class ArtifactStore:
                 local = write_artifact(model, Path(tmpdir) / "artifact.npz", meta)
                 self.backend.put_file(obj_key, local)
         version = self.latest_version(name) + 1
-        manifest = dict(meta, name=name, version=version, content_hash=content_hash)
+        manifest = dict(
+            meta,
+            name=name,
+            version=version,
+            content_hash=content_hash,
+            published_at=time.time(),
+        )
         self.backend.write_bytes(
             _version_key(name, version), json.dumps(manifest, sort_keys=True).encode()
         )
@@ -287,8 +295,45 @@ class ArtifactStore:
         return True
 
     # -- maintenance -----------------------------------------------------
-    def gc(self) -> int:
-        """Delete objects no manifest references; returns how many."""
+    def gc(
+        self,
+        keep_last_n: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Prune old versions by retention policy, then sweep objects.
+
+        With no arguments this is the pure unreferenced-object sweep.
+        Retention, per alias name: a version survives if it is the
+        ``latest`` (never deleted), among the newest ``keep_last_n``, or
+        younger than ``max_age_s`` (by the manifest's ``published_at``;
+        a manifest predating that field is treated as unknown-age and
+        kept by the age rule).  When both knobs are given a version must
+        fail *both* to be pruned.  Pruned versions lose their manifests;
+        their blobs go in the same sweep unless a surviving version
+        shares the content (hash dedup keeps them alive).  Returns the
+        number of objects removed; pruned-version count lands in
+        :attr:`pruned_versions`.
+        """
+        if keep_last_n is not None and keep_last_n < 1:
+            raise ValueError(f"keep_last_n must be >= 1, got {keep_last_n}")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        if keep_last_n is not None or max_age_s is not None:
+            cutoff = (time.time() if now is None else float(now)) - (max_age_s or 0.0)
+            for name in self.names():
+                versions = self.versions(name)
+                kept_by_n = set(versions[-keep_last_n:]) if keep_last_n else set()
+                for v in versions[:-1]:  # versions[-1] is latest: never pruned
+                    if keep_last_n is not None and v in kept_by_n:
+                        continue
+                    if max_age_s is not None:
+                        manifest = json.loads(self.backend.read_bytes(_version_key(name, v)))
+                        published = manifest.get("published_at")
+                        if published is None or published >= cutoff:
+                            continue
+                    self.backend.delete(_version_key(name, v))
+                    self.pruned_versions += 1
         referenced = set()
         for key in self.backend.list_keys(f"{MANIFESTS}/"):
             if not key.endswith(".json") or key.endswith("latest.json"):
@@ -309,6 +354,7 @@ class ArtifactStore:
             "objects": len(self.backend.list_keys(f"{OBJECTS}/")),
             "publishes": self.publishes,
             "dedup_hits": self.dedup_hits,
+            "pruned_versions": self.pruned_versions,
             "loads": self.loads,
             "hits": self.hits,
             "evictions": self.evictions,

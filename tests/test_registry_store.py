@@ -122,6 +122,116 @@ class TestPublishResolveGet:
         assert store.verify("m@2")
 
 
+def _set_published_at(store, name, version, value):
+    """Rewrite one version manifest's timestamp (None drops the field,
+    simulating artifacts published before the field existed)."""
+    key = f"manifests/{name}/{version:06d}.json"
+    manifest = json.loads(store.backend.read_bytes(key))
+    if value is None:
+        manifest.pop("published_at", None)
+    else:
+        manifest["published_at"] = value
+    store.backend.write_bytes(key, json.dumps(manifest, sort_keys=True).encode())
+
+
+class TestGcRetention:
+    def _store_with_versions(self, tmp_path, n):
+        store = ArtifactStore(tmp_path)
+        refs = [
+            store.publish(_tiny_model(bump=i), "m", BENCHMARK, hparams=HPARAMS)
+            for i in range(n)
+        ]
+        return store, refs
+
+    def test_publish_stamps_published_at(self, tmp_path):
+        import time
+
+        store = ArtifactStore(tmp_path)
+        before = time.time()
+        ref = store.publish(_tiny_model(), "m", BENCHMARK, hparams=HPARAMS)
+        assert before <= ref.meta["published_at"] <= time.time()
+
+    def test_keep_last_n_prunes_older_versions_and_objects(self, tmp_path):
+        store, refs = self._store_with_versions(tmp_path, 4)
+        removed = store.gc(keep_last_n=2)
+        assert removed == 2  # v1 and v2's blobs swept with their manifests
+        assert store.pruned_versions == 2
+        assert store.versions("m") == [3, 4]
+        assert store.latest_version("m") == 4
+        with pytest.raises(KeyError):
+            store.resolve("m@1")
+        with pytest.raises(KeyError):
+            store.resolve(f"sha256:{refs[0].content_hash}")
+        assert store.verify("m@4")
+
+    def test_latest_survives_keep_last_n_1(self, tmp_path):
+        store, refs = self._store_with_versions(tmp_path, 3)
+        store.gc(keep_last_n=1)
+        assert store.versions("m") == [3]
+        assert store.resolve("m").content_hash == refs[-1].content_hash
+
+    def test_max_age_prunes_only_stale_versions(self, tmp_path):
+        store, _ = self._store_with_versions(tmp_path, 3)
+        _set_published_at(store, "m", 1, 100.0)
+        _set_published_at(store, "m", 2, 900.0)
+        removed = store.gc(max_age_s=200.0, now=1000.0)
+        assert removed == 1  # only v1 is older than the cutoff
+        assert store.versions("m") == [2, 3]
+
+    def test_latest_survives_max_age(self, tmp_path):
+        store, _ = self._store_with_versions(tmp_path, 2)
+        for v in (1, 2):
+            _set_published_at(store, "m", v, 0.0)
+        store.gc(max_age_s=1.0, now=1e9)
+        assert store.versions("m") == [2]
+
+    def test_both_knobs_require_failing_both(self, tmp_path):
+        store, _ = self._store_with_versions(tmp_path, 3)
+        _set_published_at(store, "m", 1, 100.0)   # stale AND beyond keep_last_n
+        _set_published_at(store, "m", 2, 990.0)   # beyond keep_last_n but young
+        store.gc(keep_last_n=1, max_age_s=50.0, now=1000.0)
+        assert store.versions("m") == [2, 3]
+
+    def test_unknown_age_kept_by_age_rule(self, tmp_path):
+        store, _ = self._store_with_versions(tmp_path, 2)
+        _set_published_at(store, "m", 1, None)
+        store.gc(max_age_s=1.0, now=1e9)
+        assert store.versions("m") == [1, 2]
+        store.gc(keep_last_n=1)  # keep_last_n needs no timestamp
+        assert store.versions("m") == [2]
+
+    def test_deduped_object_survives_partial_prune(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = _tiny_model()
+        store.publish(model, "m", BENCHMARK, hparams=HPARAMS)
+        ref = store.publish(model, "m", BENCHMARK, hparams=HPARAMS)  # same bytes
+        assert store.gc(keep_last_n=1) == 0  # v1 pruned, blob still referenced by v2
+        assert store.pruned_versions == 1
+        assert store.verify("m@2")
+        assert store.resolve(f"sha256:{ref.content_hash}").content_hash == ref.content_hash
+
+    def test_retention_scoped_per_name(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for name in ("a", "b"):
+            for i in range(2):
+                store.publish(_tiny_model(bump=i), name, BENCHMARK, hparams=HPARAMS)
+        store.gc(keep_last_n=1)
+        assert store.versions("a") == [2] and store.versions("b") == [2]
+
+    def test_invalid_policy_args_refused(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.gc(keep_last_n=0)
+        with pytest.raises(ValueError):
+            store.gc(max_age_s=-1.0)
+
+    def test_no_arg_gc_never_prunes_versions(self, tmp_path):
+        store, _ = self._store_with_versions(tmp_path, 3)
+        assert store.gc() == 0
+        assert store.versions("m") == [1, 2, 3]
+        assert store.pruned_versions == 0
+
+
 class TestLoaderBugRegressions:
     def test_same_path_rescan_keeps_loads_flat(self, tmp_path, p1b2_shape):
         """Satellite: a periodic scan() over an unchanged directory must

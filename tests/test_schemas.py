@@ -3,7 +3,8 @@
 Guards against silent format drift: the committed ``BENCH_kernels.json``,
 ``BENCH_serving.json``, ``BENCH_obs.json``, ``BENCH_parallel.json``,
 ``BENCH_serving_scale.json``, ``BENCH_precision.json``, and
-``BENCH_registry.json``, and ``BENCH_hpo_scale.json`` must match their declared
+``BENCH_registry.json``, ``BENCH_hpo_scale.json``, and
+``BENCH_ddp_overlap.json`` must match their declared
 schemas in :mod:`repro.obs.schema`, a freshly recorded trace must pass
 the trace validator, and the validator itself must actually reject the
 malformed shapes it claims to catch (a validator that accepts everything
@@ -20,6 +21,7 @@ import pytest
 from repro.nn import Sequential
 from repro.nn.layers import Dense
 from repro.obs import (
+    BENCH_DDP_OVERLAP_SCHEMA,
     BENCH_HPO_SCALE_SCHEMA,
     BENCH_KERNELS_SCHEMA,
     BENCH_OBS_SCHEMA,
@@ -50,6 +52,7 @@ ARTIFACTS = [
     ("BENCH_precision.json", BENCH_PRECISION_SCHEMA),
     ("BENCH_registry.json", BENCH_REGISTRY_SCHEMA),
     ("BENCH_hpo_scale.json", BENCH_HPO_SCALE_SCHEMA),
+    ("BENCH_ddp_overlap.json", BENCH_DDP_OVERLAP_SCHEMA),
 ]
 
 
